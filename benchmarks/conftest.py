@@ -1,0 +1,19 @@
+"""Benchmark fixtures.
+
+Benchmarks default to the ``small`` scale profile (override with
+``REPRO_SCALE``). The first invocation trains and caches every model under
+``.repro_cache``; subsequent runs only measure detection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("REPRO_SCALE", "small"))

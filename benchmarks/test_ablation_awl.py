@@ -1,0 +1,21 @@
+"""Bench: ablation of the automatic weighted multi-task loss."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_awl
+
+
+def test_ablation_awl_render(benchmark, scale, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_awl.run(scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    automatic = result.get("automatic weighted")
+    fixed = result.get("fixed sum")
+    # Both loss modes must land in the working regime; the automatic
+    # weighting should not be materially worse than the fixed sum.
+    assert automatic.f1_full > 0.7
+    assert fixed.f1_full > 0.7
+    assert automatic.f1_full >= fixed.f1_full - 0.05

@@ -1,0 +1,20 @@
+"""Bench: MLM pre-training ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_pretrain
+
+
+def test_ablation_pretrain_render(benchmark, scale, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_pretrain.run(scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    # Both initializations must reach the working regime with the shared
+    # fine-tuning budget; pre-training must not hurt materially.
+    random_init = result.get("random init")
+    pretrained = result.get("MLM pre-trained")
+    assert random_init.f1 > 0.7
+    assert pretrained.f1 > random_init.f1 - 0.1

@@ -1,0 +1,25 @@
+"""Bench: non-Transformer baseline families vs TASTE."""
+
+from __future__ import annotations
+
+from repro.experiments import extra_baselines
+
+
+def test_extra_baselines_render(benchmark, scale, capsys):
+    result = benchmark.pedantic(
+        lambda: extra_baselines.run(scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    regex = result.get("regex")
+    dictionary = result.get("dictionary")
+    taste = result.get("taste")
+
+    # The paper's motivation: pattern/lookup families are precise but
+    # cover only a slice of the domain set -> low recall vs the DL system.
+    assert regex.precision > 0.7
+    assert dictionary.precision > 0.7
+    assert taste.recall > regex.recall
+    assert taste.recall > dictionary.recall
+    assert taste.f1 > result.get("sherlock").f1

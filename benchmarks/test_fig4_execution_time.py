@@ -1,0 +1,62 @@
+"""Bench: Fig. 4 — end-to-end execution time per approach/variant.
+
+Each variant is a separate benchmark case so pytest-benchmark's comparison
+table reproduces the figure's bars directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BaselineDetector
+from repro.core import TasteDetector, ThresholdPolicy
+from repro.experiments.common import (
+    get_baseline_model,
+    get_corpus,
+    get_taste_model,
+    make_server,
+    paper_cost_model,
+)
+
+VARIANTS = (
+    "turl",
+    "doduo",
+    "taste",
+    "taste_hist",
+    "taste_no_pipeline",
+    "taste_no_cache",
+    "taste_sampling",
+)
+
+
+def _build_detector(variant: str, corpus, scale):
+    if variant in ("turl", "doduo"):
+        model, featurizer = get_baseline_model(corpus, scale, variant)
+        return BaselineDetector(model, featurizer), False
+    use_histogram = variant == "taste_hist"
+    model, featurizer = get_taste_model(corpus, scale, use_histogram)
+    detector = TasteDetector(
+        model,
+        featurizer,
+        ThresholdPolicy(0.1, 0.9),
+        caching=variant != "taste_no_cache",
+        pipelined=variant != "taste_no_pipeline",
+        scan_method="sample" if variant == "taste_sampling" else "first",
+    )
+    return detector, use_histogram
+
+
+@pytest.mark.parametrize("corpus_name", ["wikitable", "gittables"])
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_fig4_end_to_end_time(benchmark, scale, corpus_name, variant):
+    corpus = get_corpus(corpus_name, scale)
+    detector, use_histogram = _build_detector(variant, corpus, scale)
+
+    def run():
+        server = make_server(
+            corpus.test, paper_cost_model(time_scale=1.0), analyze=use_histogram
+        )
+        return detector.detect(server)
+
+    report = benchmark.pedantic(run, rounds=max(scale.timing_runs, 2), iterations=1)
+    assert report.num_columns == sum(t.num_columns for t in corpus.test)

@@ -1,0 +1,24 @@
+"""Bench: Fig. 5 — ratio of scanned columns per approach."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_scanned_ratio
+
+
+def test_fig5_render_and_shape(benchmark, scale, capsys):
+    result = benchmark.pedantic(
+        lambda: fig5_scanned_ratio.run(scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    for corpus in ("wikitable", "gittables"):
+        # Content-reliant baselines scan everything, by construction.
+        assert result.get(corpus, "turl") == 1.0
+        assert result.get(corpus, "doduo") == 1.0
+        # TASTE scans only uncertain columns.
+        assert result.get(corpus, "taste") < 0.7
+    # Clean-metadata corpus: near-zero scanning (paper: 1.7%).
+    assert result.get("gittables", "taste") < 0.2
+    # Noisy corpus scans much more than the clean one (paper: 45% vs 1.7%).
+    assert result.get("wikitable", "taste") > result.get("gittables", "taste")

@@ -1,0 +1,38 @@
+"""Bench: Fig. 6 — performance vs ratio of columns without any type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TasteDetector, ThresholdPolicy
+from repro.experiments import fig6_no_type_ratio
+from repro.experiments.common import get_fig6_bundle, make_server, paper_cost_model
+
+
+@pytest.mark.parametrize("k", [50, 30, 10])
+def test_fig6_detection_at_k(benchmark, scale, k):
+    bundle = get_fig6_bundle(scale, k)
+
+    def run():
+        detector = TasteDetector(
+            bundle.model, bundle.featurizer, ThresholdPolicy(0.1, 0.9)
+        )
+        server = make_server(bundle.test_tables, paper_cost_model(time_scale=1.0))
+        return detector.detect(server)
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.num_columns == sum(t.num_columns for t in bundle.test_tables)
+
+
+def test_fig6_full_render(benchmark, scale, capsys):
+    result = benchmark.pedantic(
+        lambda: fig6_no_type_ratio.run(scale, ks=(50, 30, 10)), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    rows = result.rows  # sorted by eta ascending
+    assert rows[0].eta < rows[-1].eta
+    # Paper shape: scanning drops as eta grows; F1 stays usable throughout.
+    assert rows[-1].scanned_ratio <= rows[0].scanned_ratio + 0.05
+    assert all(row.f1 > 0.6 for row in rows)

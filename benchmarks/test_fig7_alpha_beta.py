@@ -1,0 +1,39 @@
+"""Bench: Fig. 7 — sensitivity to the (alpha, beta) thresholds."""
+
+from __future__ import annotations
+
+from repro.core import TasteDetector, ThresholdPolicy
+from repro.experiments import fig7_alpha_beta
+from repro.experiments.common import get_corpus, get_taste_model, make_server
+
+
+def test_fig7_one_sweep_point(benchmark, scale):
+    """Time a single (alpha, beta) detection pass (one sweep point)."""
+    corpus = get_corpus("wikitable", scale)
+    model, featurizer = get_taste_model(corpus, scale)
+
+    def run():
+        detector = TasteDetector(
+            model, featurizer, ThresholdPolicy(0.05, 0.95), pipelined=False
+        )
+        return detector.detect(make_server(corpus.test))
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.num_columns > 0
+
+
+def test_fig7_full_render(benchmark, scale, capsys):
+    result = benchmark.pedantic(lambda: fig7_alpha_beta.run(scale), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    # Paper shape: widening the band (smaller alpha) raises F1 and lowers
+    # the not-scanned ratio.
+    widest = result.alpha_points[0]  # alpha = 0.02
+    narrowest = result.alpha_points[-1]  # alpha = 0.5
+    assert widest.f1 >= narrowest.f1 - 0.01
+    assert widest.not_scanned_ratio <= narrowest.not_scanned_ratio
+
+    lowest_beta = result.beta_points[0]  # beta = 0.5
+    highest_beta = result.beta_points[-1]  # beta = 0.98
+    assert highest_beta.not_scanned_ratio <= lowest_beta.not_scanned_ratio

@@ -1,0 +1,60 @@
+"""Bench: Fig. 8 — impact of the column-split threshold l and cell count n."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TasteDetector, ThresholdPolicy
+from repro.experiments import fig8_l_n
+from repro.experiments.common import get_corpus, get_featurizer, get_taste_model, make_server
+
+
+@pytest.mark.parametrize("l_value", [4, 12, 20])
+def test_fig8a_detection_at_l(benchmark, scale, l_value):
+    from dataclasses import replace
+
+    from repro.experiments.common import get_wide_corpus, get_wide_taste_model
+    from repro.features import Featurizer
+
+    corpus = get_wide_corpus(scale)
+    model, base_featurizer = get_wide_taste_model(scale)
+    featurizer = Featurizer(
+        base_featurizer.tokenizer,
+        base_featurizer.registry,
+        replace(base_featurizer.config, column_split_threshold=l_value),
+    )
+
+    def run():
+        detector = TasteDetector(
+            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+        )
+        return detector.detect(make_server(corpus.test))
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.num_columns == sum(t.num_columns for t in corpus.test)
+
+
+@pytest.mark.parametrize("n_value", [1, 5, 10])
+def test_fig8b_detection_at_n(benchmark, scale, n_value):
+    corpus = get_corpus("wikitable", scale)
+    model, _ = get_taste_model(corpus, scale)
+    featurizer = get_featurizer(corpus, scale, cells_per_column=n_value)
+
+    def run():
+        detector = TasteDetector(
+            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+        )
+        return detector.detect(make_server(corpus.test))
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.num_columns == sum(t.num_columns for t in corpus.test)
+
+
+def test_fig8_full_render(benchmark, scale, capsys):
+    result = benchmark.pedantic(lambda: fig8_l_n.run(scale), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    # Paper shape: more cells per column (larger n) => higher-or-equal F1.
+    f1_by_n = {p.n_value: p.f1 for p in result.n_points}
+    assert f1_by_n[10] >= f1_by_n[1] - 0.02

@@ -1,0 +1,26 @@
+"""Bench: Table 2 — corpus construction and dataset statistics."""
+
+from __future__ import annotations
+
+from repro.datagen import make_gittables_corpus, make_wikitable_corpus
+from repro.experiments import table2_datasets
+
+
+def test_table2_corpus_generation(benchmark, scale):
+    """Time building both corpora and computing their Table-2 statistics."""
+
+    def build():
+        wiki = make_wikitable_corpus(scale.num_tables)
+        git = make_gittables_corpus(scale.num_tables)
+        return wiki.stats(), git.stats()
+
+    wiki_stats, git_stats = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert wiki_stats.no_type_ratio == 0.0
+    assert 0.2 < git_stats.no_type_ratio < 0.45
+
+
+def test_table2_render(benchmark, scale, capsys):
+    result = benchmark.pedantic(lambda: table2_datasets.run(scale), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+    assert len(result.rows) == 8

@@ -1,0 +1,41 @@
+"""Bench: Table 3 — F1 of all approaches; measures TASTE's detection pass."""
+
+from __future__ import annotations
+
+from repro.core import TasteDetector, ThresholdPolicy
+from repro.experiments import table3_f1
+from repro.experiments.common import get_corpus, get_taste_model, make_server
+from repro.metrics import ground_truth_map, micro_prf
+
+
+def test_table3_taste_detection(benchmark, scale):
+    """Time one full TASTE detection pass over the WikiTable test split."""
+    corpus = get_corpus("wikitable", scale)
+    model, featurizer = get_taste_model(corpus, scale)
+    ground_truth = ground_truth_map(corpus.test)
+
+    def detect():
+        detector = TasteDetector(
+            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+        )
+        return detector.detect(make_server(corpus.test))
+
+    report = benchmark.pedantic(detect, rounds=2, iterations=1)
+    prf = micro_prf(report.predicted_labels(), ground_truth)
+    assert prf.f1 > 0.8  # loose bound: the paper-shape claim is "high F1"
+
+
+def test_table3_full_render(benchmark, scale, capsys):
+    """Regenerate the whole of Table 3 (all five approaches, both corpora)."""
+    result = benchmark.pedantic(lambda: table3_f1.run(scale), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+
+    for corpus in ("wikitable", "gittables"):
+        taste = result.get(corpus, "taste")
+        taste_hist = result.get(corpus, "taste_hist")
+        # Histogram metadata should not hurt (paper: it helps).
+        assert taste_hist.f1 >= taste.f1 - 0.02
+        # Sampling barely changes quality.
+        sampling = result.get(corpus, "taste_sampling")
+        assert abs(sampling.f1 - taste.f1) < 0.05

@@ -1,0 +1,94 @@
+"""Extending the domain set with user-defined semantic types.
+
+One of the paper's future-work directions is integrating domain-specific
+and user-defined semantic types. The registry makes that a data change, not
+a code change: define the type (value generator + naming conventions),
+rebuild the corpus, and fine-tune. This example adds two telecom-flavoured
+types — IMEI numbers (with their real Luhn check digit) and cell tower ids —
+and shows the detector picking them up.
+
+Run:  python examples/custom_types.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import nn
+from repro.core import ADTDConfig, ADTDModel, TasteDetector, ThresholdPolicy, TrainConfig, fine_tune
+from repro.datagen import SemanticType, TypeRegistry, default_registry, make_wikitable_corpus
+from repro.datagen.values import luhn_checksum_digit
+from repro.db import CloudDatabaseServer, CostModel
+from repro.features import FeatureConfig, Featurizer, corpus_texts
+from repro.metrics import ground_truth_map, micro_prf
+from repro.text import Tokenizer
+
+
+def imei(rng: np.random.Generator) -> str:
+    body = "35" + "".join(str(int(d)) for d in rng.integers(0, 10, 12))
+    return body + luhn_checksum_digit(body)
+
+
+def cell_tower_id(rng: np.random.Generator) -> str:
+    return (
+        f"460-{int(rng.integers(0, 20)):02d}-"
+        f"{int(rng.integers(1, 65535))}-{int(rng.integers(1, 268435455))}"
+    )
+
+
+CUSTOM_TYPES = [
+    SemanticType(
+        "telecom.imei", "telecom", "varchar", imei,
+        clean_names=("imei", "device_imei"),
+        ambiguous_names=("num", "number", "no"),
+        comments=("mobile equipment identity",),
+        ambiguity_weight=0.2,
+    ),
+    SemanticType(
+        "telecom.cell_tower", "telecom", "varchar", cell_tower_id,
+        clean_names=("cell_id", "tower_id", "cgi"),
+        ambiguous_names=("id", "identifier", "key"),
+        comments=("cell global identity",),
+        ambiguity_weight=0.2,
+    ),
+]
+
+
+def main() -> None:
+    registry = TypeRegistry(list(default_registry().types) + CUSTOM_TYPES)
+    print(f"domain set extended to {len(registry)} types "
+          f"(added: {[t.name for t in CUSTOM_TYPES]})")
+
+    corpus = make_wikitable_corpus(num_tables=int(os.environ.get("EXAMPLE_TABLES", 120)), registry=registry)
+    tokenizer = Tokenizer.train(corpus_texts(corpus.train), max_size=2500)
+    featurizer = Featurizer(tokenizer, registry, FeatureConfig())
+    encoder = nn.EncoderConfig(
+        num_layers=2, num_heads=4, hidden_size=64, intermediate_size=128,
+        max_seq_len=512, vocab_size=len(tokenizer),
+    )
+    model = ADTDModel(ADTDConfig(encoder, num_labels=registry.num_labels))
+    print("fine-tuning with the extended domain set...")
+    fine_tune(model, featurizer, corpus.train, TrainConfig(epochs=int(os.environ.get("EXAMPLE_EPOCHS", 16))))
+
+    server = CloudDatabaseServer.from_tables(corpus.test, CostModel())
+    detector = TasteDetector(model, featurizer, ThresholdPolicy(0.1, 0.9))
+    report = detector.detect(server)
+
+    ground_truth = ground_truth_map(corpus.test)
+    prf = micro_prf(report.predicted_labels(), ground_truth)
+    print(f"\noverall F1 with custom types in play: {prf.f1:.4f}")
+
+    print("\ncolumns detected as custom types:")
+    for prediction in report.predictions:
+        custom = [t for t in prediction.admitted_types if t.startswith("telecom.")]
+        if custom:
+            truth = ground_truth[(prediction.table_name, prediction.column_name)]
+            flag = "correct" if set(custom) <= set(truth) else "WRONG"
+            print(f"  {prediction.table_name}.{prediction.column_name:18s} "
+                  f"-> {custom} [{flag}, phase {prediction.phase}]")
+
+
+if __name__ == "__main__":
+    main()

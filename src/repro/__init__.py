@@ -1,0 +1,41 @@
+"""Reproduction of "TASTE: Towards Practical Deep Learning-based
+Approaches for Semantic Type Detection in the Cloud" (EDBT 2025).
+
+Subpackages
+-----------
+``repro.nn``
+    A numpy autograd + Transformer stack (the PyTorch stand-in).
+``repro.text``
+    Tokenization substrate.
+``repro.datagen``
+    Synthetic WikiTable-like / GitTables-like corpora.
+``repro.db``
+    Simulated cloud database (RDS-MySQL stand-in) with cost accounting.
+``repro.features``
+    Featurization of metadata and content into model inputs.
+``repro.core``
+    The TASTE framework: ADTD model, two-phase detection, latent cache,
+    pipelined execution, training.
+``repro.baselines``
+    TURL-like, Doduo-like, regex and dictionary baselines.
+``repro.metrics``
+    F1 / execution time / scanned-column metrics.
+``repro.experiments``
+    One module per table/figure of the paper's evaluation.
+"""
+
+from . import baselines, core, datagen, db, features, metrics, nn, text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "text",
+    "datagen",
+    "db",
+    "features",
+    "core",
+    "baselines",
+    "metrics",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Baseline detectors the paper compares TASTE against."""
+
+from .base import (
+    BaselineDetector,
+    BaselineTrainConfig,
+    fine_tune_baseline,
+)
+from .dictionary_baseline import DICTIONARIES, DictionaryTypeDetector
+from .doduo import build_doduo_model, doduo_config, doduo_encoder_config
+from .regex_baseline import PATTERNS, RegexTypeDetector
+from .sherlock import (
+    SHERLOCK_FEATURE_DIM,
+    SherlockModel,
+    SherlockTrainConfig,
+    sherlock_features,
+    train_sherlock,
+)
+from .single_tower import (
+    SingleTowerConfig,
+    SingleTowerModel,
+    joint_stream,
+    visibility_mask,
+)
+from .turl import build_turl_model, turl_config
+
+__all__ = [
+    "BaselineDetector",
+    "BaselineTrainConfig",
+    "fine_tune_baseline",
+    "SingleTowerConfig",
+    "SingleTowerModel",
+    "joint_stream",
+    "visibility_mask",
+    "build_turl_model",
+    "turl_config",
+    "build_doduo_model",
+    "doduo_config",
+    "doduo_encoder_config",
+    "RegexTypeDetector",
+    "PATTERNS",
+    "DictionaryTypeDetector",
+    "DICTIONARIES",
+    "SherlockModel",
+    "SherlockTrainConfig",
+    "sherlock_features",
+    "train_sherlock",
+    "SHERLOCK_FEATURE_DIM",
+]

@@ -1,0 +1,50 @@
+"""Dictionary / value-overlap baseline (the knowledge-base family, Sec. 7).
+
+Assigns a semantic type when a column's sampled values overlap a known
+value dictionary above a threshold — the approach of value-overlapping
+systems cited by the paper. Only covers closed-vocabulary types and, like
+the regex family, must scan column content.
+"""
+
+from __future__ import annotations
+
+from ..datagen import values as V
+
+__all__ = ["DictionaryTypeDetector", "DICTIONARIES"]
+
+DICTIONARIES: dict[str, frozenset[str]] = {
+    "geo.city": frozenset(V.CITIES),
+    "geo.country": frozenset(V.COUNTRIES),
+    "geo.country_code": frozenset(V.COUNTRY_CODES),
+    "geo.state": frozenset(V.STATES),
+    "commerce.currency": frozenset(V.CURRENCIES),
+    "misc.language": frozenset(V.LANGUAGES),
+    "misc.color": frozenset(V.COLORS),
+    "time.weekday": frozenset(V.WEEKDAYS),
+    "time.month": frozenset(V.MONTHS),
+    "org.department": frozenset(V.DEPARTMENTS),
+    "org.job_title": frozenset(V.JOB_TITLES),
+    "person.first_name": frozenset(V.FIRST_NAMES),
+    "person.last_name": frozenset(V.LAST_NAMES),
+}
+
+
+class DictionaryTypeDetector:
+    """Assign closed-vocabulary types by value overlap."""
+
+    def __init__(self, min_overlap_ratio: float = 0.8) -> None:
+        if not 0.0 < min_overlap_ratio <= 1.0:
+            raise ValueError("min_overlap_ratio must be in (0, 1]")
+        self.min_overlap_ratio = min_overlap_ratio
+
+    def detect_column(self, values: list[str]) -> list[str]:
+        """Types whose dictionary contains enough of the sampled values."""
+        samples = [value.lower().strip() for value in values if value]
+        if not samples:
+            return []
+        admitted = []
+        for type_name, vocabulary in DICTIONARIES.items():
+            hits = sum(1 for value in samples if value in vocabulary)
+            if hits / len(samples) >= self.min_overlap_ratio:
+                admitted.append(type_name)
+        return admitted

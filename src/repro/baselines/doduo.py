@@ -1,0 +1,51 @@
+"""Doduo-like baseline (paper Sec. 6.2).
+
+Doduo serializes column metadata *into* the column values and feeds the mix
+to a larger pre-trained language model (BERT-base, ~7.5x TASTE's TinyBERT).
+Here that translates to full (unrestricted) attention over the joint stream
+and a proportionally larger encoder, which is what makes it the slowest
+end-to-end system in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .. import nn
+from .single_tower import SingleTowerConfig, SingleTowerModel
+
+__all__ = ["doduo_config", "doduo_encoder_config", "build_doduo_model"]
+
+# Scale factor mirroring BERT-base vs TinyBERT: one extra layer and a wider
+# hidden size (keeping CPU-trainable proportions).
+_DODUO_LAYERS = 3
+_DODUO_HIDDEN_MULTIPLE = 2
+
+
+def doduo_encoder_config(taste_encoder: nn.EncoderConfig) -> nn.EncoderConfig:
+    """Derive the larger Doduo-like encoder from TASTE's encoder config."""
+    return replace(
+        taste_encoder,
+        num_layers=_DODUO_LAYERS,
+        hidden_size=taste_encoder.hidden_size * _DODUO_HIDDEN_MULTIPLE,
+        intermediate_size=taste_encoder.intermediate_size * _DODUO_HIDDEN_MULTIPLE,
+    )
+
+
+def doduo_config(
+    taste_encoder: nn.EncoderConfig, num_labels: int, max_column_id: int = 64
+) -> SingleTowerConfig:
+    """Doduo-like configuration: larger encoder, full attention."""
+    return SingleTowerConfig(
+        encoder=doduo_encoder_config(taste_encoder),
+        num_labels=num_labels,
+        classifier_hidden=256,
+        max_column_id=max_column_id,
+        column_visibility=False,
+    )
+
+
+def build_doduo_model(
+    taste_encoder: nn.EncoderConfig, num_labels: int, seed: int = 2
+) -> SingleTowerModel:
+    return SingleTowerModel(doduo_config(taste_encoder, num_labels), seed=seed)

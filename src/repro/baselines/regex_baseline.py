@@ -1,0 +1,71 @@
+"""Regular-expression baseline (the related-work family of Sec. 7).
+
+A hand-written pattern per format-bearing semantic type; a column is
+assigned a type if at least ``min_match_ratio`` of its sampled non-empty
+values match the pattern (and, for card numbers, pass the Luhn check).
+Content-reliant by construction: it must scan every column, and it covers
+only the pattern-friendly subset of the domain — the two limitations the
+paper cites for this family.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..datagen import values as V
+
+__all__ = ["RegexTypeDetector", "PATTERNS"]
+
+PATTERNS: dict[str, re.Pattern] = {
+    "person.ssn": re.compile(r"^\d{3}-\d{2}-\d{4}$"),
+    "person.phone": re.compile(r"^(\+1-\d{3}-\d{3}-\d{4}|\(\d{3}\) \d{3}-\d{4}|\d{3}-\d{4})$"),
+    "person.email": re.compile(r"^[\w.]+@[\w.]+\.[a-z]{2,}$"),
+    "person.passport": re.compile(r"^[A-Z]\d{8}$"),
+    "finance.credit_card": re.compile(r"^\d{4}([ -])\d{4}\1\d{4}\1\d{4}$"),
+    "finance.iban": re.compile(r"^[A-Z]{2}\d{2}( \d{4}){3}$"),
+    "web.url": re.compile(r"^https?://[\w.-]+(/[\w.-]*)*$"),
+    "web.ip_address": re.compile(
+        r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$"
+    ),
+    "web.mac_address": re.compile(r"^([0-9a-f]{2}:){5}[0-9a-f]{2}$"),
+    "web.uuid": re.compile(r"^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$"),
+    "time.date": re.compile(r"^\d{4}-\d{2}-\d{2}$"),
+    "time.timestamp": re.compile(r"^\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}$"),
+    "geo.zip": re.compile(r"^\d{5}$"),
+    "misc.isbn": re.compile(r"^978-\d-\d{4}-\d{4}-\d$"),
+    "misc.percentage": re.compile(r"^\d{1,3}(\.\d+)?%$"),
+    "tech.version": re.compile(r"^\d+\.\d+\.\d+$"),
+    "tech.file_path": re.compile(r"^(/[\w.-]+)+$"),
+    "commerce.order_id": re.compile(r"^ORD-\d{6}$"),
+    "commerce.sku": re.compile(r"^[A-Z]{2}-\d{4}$"),
+    "misc.license_plate": re.compile(r"^[A-Z]{3}-\d{4}$"),
+}
+
+_CHECKSUM_TYPES = {"finance.credit_card": V.is_luhn_valid}
+
+
+class RegexTypeDetector:
+    """Assign pattern-friendly types from sampled column values."""
+
+    def __init__(self, min_match_ratio: float = 0.8) -> None:
+        if not 0.0 < min_match_ratio <= 1.0:
+            raise ValueError("min_match_ratio must be in (0, 1]")
+        self.min_match_ratio = min_match_ratio
+
+    def detect_column(self, values: list[str]) -> list[str]:
+        """Types whose pattern matches at least ``min_match_ratio`` of values."""
+        samples = [value for value in values if value]
+        if not samples:
+            return []
+        admitted = []
+        for type_name, pattern in PATTERNS.items():
+            matched = [value for value in samples if pattern.match(value)]
+            if len(matched) / len(samples) < self.min_match_ratio:
+                continue
+            checker = _CHECKSUM_TYPES.get(type_name)
+            if checker is not None:
+                valid = sum(1 for value in matched if checker(value))
+                if valid / len(matched) < self.min_match_ratio:
+                    continue
+            admitted.append(type_name)
+        return admitted

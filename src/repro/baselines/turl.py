@@ -1,0 +1,33 @@
+"""TURL-like baseline (paper Sec. 6.2).
+
+Same encoder size as TASTE (the paper uses the same TinyBERT-scale
+configuration for both), with the TURL visibility matrix: a cell value only
+attends to table-level tokens and to its own column's metadata/content.
+Relies on column content — every column is scanned.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .single_tower import SingleTowerConfig, SingleTowerModel
+
+__all__ = ["turl_config", "build_turl_model"]
+
+
+def turl_config(
+    encoder: nn.EncoderConfig, num_labels: int, max_column_id: int = 64
+) -> SingleTowerConfig:
+    """TURL-like configuration: TASTE-sized encoder, column visibility."""
+    return SingleTowerConfig(
+        encoder=encoder,
+        num_labels=num_labels,
+        classifier_hidden=128,
+        max_column_id=max_column_id,
+        column_visibility=True,
+    )
+
+
+def build_turl_model(
+    encoder: nn.EncoderConfig, num_labels: int, seed: int = 1
+) -> SingleTowerModel:
+    return SingleTowerModel(turl_config(encoder, num_labels), seed=seed)

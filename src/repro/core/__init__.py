@@ -1,0 +1,52 @@
+"""The TASTE framework: ADTD model, two-phase detection, pipelining."""
+
+from .adtd import ADTDConfig, ADTDModel, gather_positions
+from .classifier import ClassifierHead
+from .detector import TasteDetector
+from .extension import (
+    ExtensionResult,
+    extend_model,
+    extend_registry,
+    incremental_fine_tune,
+)
+from .feedback import FeedbackBuffer, FeedbackExample, FeedbackStats, apply_feedback
+from .latent_cache import CachedEncoding, LatentCache
+from .phases import ChunkState, TableJob
+from .pipeline import PipelinedExecutor, SequentialExecutor
+from .pretraining import PretrainConfig, PretrainHistory, pretrain_mlm
+from .results import ColumnPrediction, DetectionReport, TableResult
+from .thresholds import ThresholdPolicy
+from .training import TrainConfig, TrainHistory, encode_training_tables, fine_tune
+
+__all__ = [
+    "ADTDConfig",
+    "ADTDModel",
+    "gather_positions",
+    "ClassifierHead",
+    "TasteDetector",
+    "extend_registry",
+    "extend_model",
+    "incremental_fine_tune",
+    "ExtensionResult",
+    "FeedbackBuffer",
+    "FeedbackExample",
+    "FeedbackStats",
+    "apply_feedback",
+    "LatentCache",
+    "CachedEncoding",
+    "TableJob",
+    "ChunkState",
+    "PipelinedExecutor",
+    "SequentialExecutor",
+    "ThresholdPolicy",
+    "ColumnPrediction",
+    "TableResult",
+    "DetectionReport",
+    "TrainConfig",
+    "TrainHistory",
+    "fine_tune",
+    "encode_training_tables",
+    "PretrainConfig",
+    "PretrainHistory",
+    "pretrain_mlm",
+]

@@ -1,0 +1,115 @@
+"""The TASTE detector: the public entry point of the framework.
+
+Wires together the ADTD model, the featurizer, the (α, β) threshold policy,
+the latent cache and an executor, and runs end-to-end detection against a
+simulated cloud database server. See paper Fig. 1 for the flow.
+
+Typical use::
+
+    detector = TasteDetector(model, featurizer, ThresholdPolicy(0.1, 0.9))
+    report = detector.detect(server, table_names)
+    report.scanned_ratio()   # intrusiveness
+    report.wall_seconds      # end-to-end execution time
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.adtd import ADTDModel
+from ..db.server import CloudDatabaseServer
+from ..features.encoding import Featurizer
+from .latent_cache import LatentCache
+from .phases import TableJob
+from .pipeline import PipelinedExecutor, SequentialExecutor
+from .results import DetectionReport
+from .thresholds import ThresholdPolicy
+
+__all__ = ["TasteDetector"]
+
+
+class TasteDetector:
+    """Two-phase semantic type detector (the TASTE framework).
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.adtd.ADTDModel`.
+    featurizer:
+        Featurizer whose config carries ``n``/``m``/``l`` and the histogram
+        switch; must use the tokenizer/registry the model was trained with.
+    thresholds:
+        The (α, β) certainty policy. ``ThresholdPolicy.privacy_mode()``
+        yields the metadata-only variant ("TASTE without P2").
+    caching:
+        Enable the latent cache (the "without caching" ablation sets False).
+    pipelined:
+        Use Algorithm 1's pipelined executor; otherwise sequential.
+    scan_method:
+        ``"first"`` (first ``m`` rows) or ``"sample"`` (``ORDER BY
+        RAND(seed)``), paper Sec. 6.1.2.
+    """
+
+    def __init__(
+        self,
+        model: ADTDModel,
+        featurizer: Featurizer,
+        thresholds: ThresholdPolicy | None = None,
+        caching: bool = True,
+        pipelined: bool = True,
+        prep_workers: int = 2,
+        infer_workers: int = 2,
+        scan_method: str = "first",
+        sample_seed: int = 0,
+        cache_capacity: int = 256,
+    ) -> None:
+        if scan_method not in ("first", "sample"):
+            raise ValueError(f"scan_method must be 'first' or 'sample', got {scan_method!r}")
+        self.model = model
+        self.featurizer = featurizer
+        self.thresholds = thresholds or ThresholdPolicy()
+        self.cache = LatentCache(capacity=cache_capacity, enabled=caching)
+        self.pipelined = pipelined
+        self.scan_method = scan_method
+        self.sample_seed = sample_seed
+        self._executor = (
+            PipelinedExecutor(prep_workers, infer_workers)
+            if pipelined
+            else SequentialExecutor()
+        )
+        self.model.eval()
+
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        server: CloudDatabaseServer,
+        table_names: list[str] | None = None,
+    ) -> DetectionReport:
+        """Detect semantic types for ``table_names`` (default: all tables).
+
+        Opens one connection for the batch (reused across tables, as the
+        paper recommends), runs the four-stage jobs through the configured
+        executor and returns a :class:`DetectionReport` with predictions,
+        wall time and the database-side cost snapshot.
+        """
+        started = time.perf_counter()
+        connection = server.connect()
+        try:
+            if table_names is None:
+                table_names = connection.list_tables()
+            jobs = [TableJob(self, connection, name) for name in table_names]
+            self._executor.run(jobs)
+        finally:
+            connection.close()
+        wall = time.perf_counter() - started
+        return DetectionReport(
+            tables=[job.result for job in jobs],
+            wall_seconds=wall,
+            cost=server.ledger.snapshot(),
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+        )
+
+    def detect_table(self, server: CloudDatabaseServer, table_name: str) -> DetectionReport:
+        """Convenience wrapper for a single table."""
+        return self.detect(server, [table_name])

@@ -1,0 +1,157 @@
+"""Incremental extension of the semantic type domain set.
+
+The paper's first future-work direction (Sec. 8): accommodate new semantic
+types when the domain set is updated, *without* retraining from scratch.
+
+The ADTD architecture localizes the label space in the classifier heads'
+output layers, so extension is surgical:
+
+1. build the extended registry (label space grows, existing label order is
+   preserved up to re-sorting by name);
+2. create a fresh model for the new label count and copy every parameter
+   over, remapping the classifier output rows of surviving labels;
+3. briefly fine-tune — optionally on a mixture of new-type tables and a
+   replay sample of old tables to avoid forgetting.
+
+The encoder, embeddings and classifier hidden layers transfer verbatim, so
+the incremental fine-tune needs an order of magnitude fewer steps than
+training from scratch (see ``benchmarks/test_extension.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datagen.tables import Table
+from ..datagen.types import SemanticType, TypeRegistry
+from ..features.encoding import Featurizer
+from .adtd import ADTDConfig, ADTDModel
+from .training import TrainConfig, TrainHistory, fine_tune
+
+__all__ = ["extend_registry", "extend_model", "incremental_fine_tune", "ExtensionResult"]
+
+
+def extend_registry(registry: TypeRegistry, new_types: list[SemanticType]) -> TypeRegistry:
+    """A registry containing all existing types plus ``new_types``."""
+    existing = {t.name for t in registry}
+    clashes = [t.name for t in new_types if t.name in existing]
+    if clashes:
+        raise ValueError(f"types already in the registry: {clashes}")
+    return TypeRegistry(list(registry.types) + list(new_types))
+
+
+def _remap_output_layer(
+    weight_old: np.ndarray,
+    bias_old: np.ndarray,
+    weight_new: np.ndarray,
+    bias_new: np.ndarray,
+    old_registry: TypeRegistry,
+    new_registry: TypeRegistry,
+) -> None:
+    """Copy per-label output rows for labels present in both registries.
+
+    Output layers are ``(hidden, num_labels)``; label order is the
+    registry's sorted label list, so surviving labels move to new column
+    indices. New labels keep their fresh initialization.
+    """
+    for name in old_registry.label_names:
+        old_index = old_registry.label_id(name)
+        new_index = new_registry.label_id(name)
+        weight_new[:, new_index] = weight_old[:, old_index]
+        bias_new[new_index] = bias_old[old_index]
+
+
+def extend_model(
+    model: ADTDModel,
+    old_registry: TypeRegistry,
+    new_registry: TypeRegistry,
+    seed: int = 0,
+) -> ADTDModel:
+    """A new ADTD model over the extended label space, weights transferred.
+
+    Everything except the two classifier output layers is copied verbatim;
+    those are remapped per label so existing types keep their learned
+    scoring rows.
+    """
+    if new_registry.num_labels < old_registry.num_labels:
+        raise ValueError("extend_model only grows the label space")
+    config = ADTDConfig(
+        encoder=model.config.encoder,
+        num_labels=new_registry.num_labels,
+        numeric_dim=model.config.numeric_dim,
+        meta_classifier_hidden=model.config.meta_classifier_hidden,
+        content_classifier_hidden=model.config.content_classifier_hidden,
+        max_column_id=model.config.max_column_id,
+    )
+    extended = ADTDModel(config, seed=seed)
+
+    output_layer_keys = {
+        "meta_classifier.output.weight",
+        "meta_classifier.output.bias",
+        "content_classifier.output.weight",
+        "content_classifier.output.bias",
+    }
+    old_state = model.state_dict()
+    new_state = extended.state_dict()
+    for key, value in old_state.items():
+        if key not in output_layer_keys:
+            new_state[key] = value
+    for head in ("meta_classifier", "content_classifier"):
+        _remap_output_layer(
+            old_state[f"{head}.output.weight"],
+            old_state[f"{head}.output.bias"],
+            new_state[f"{head}.output.weight"],
+            new_state[f"{head}.output.bias"],
+            old_registry,
+            new_registry,
+        )
+    extended.load_state_dict(new_state)
+    extended.eval()
+    return extended
+
+
+@dataclass
+class ExtensionResult:
+    """Outcome of an incremental domain-set extension."""
+
+    model: ADTDModel
+    registry: TypeRegistry
+    history: TrainHistory
+
+
+def incremental_fine_tune(
+    model: ADTDModel,
+    old_registry: TypeRegistry,
+    new_types: list[SemanticType],
+    featurizer_factory,
+    new_tables: list[Table],
+    replay_tables: list[Table] | None = None,
+    config: TrainConfig | None = None,
+) -> ExtensionResult:
+    """Extend the domain set and adapt the model to it in one call.
+
+    Parameters
+    ----------
+    model:
+        The trained model over ``old_registry``.
+    featurizer_factory:
+        Callable ``registry -> Featurizer`` binding the tokenizer and
+        feature config to the extended registry.
+    new_tables:
+        Tables exercising the new types (labels may include old types too).
+    replay_tables:
+        Optional sample of the original training tables mixed in to
+        counteract forgetting; defaults to none.
+    config:
+        Fine-tuning config; defaults to a short schedule (few epochs at a
+        reduced learning rate), which is the point of incremental extension.
+    """
+    new_registry = extend_registry(old_registry, new_types)
+    extended = extend_model(model, old_registry, new_registry)
+    featurizer: Featurizer = featurizer_factory(new_registry)
+    config = config or TrainConfig(epochs=5, learning_rate=1e-3)
+    tables = list(new_tables) + list(replay_tables or [])
+    history = fine_tune(extended, featurizer, tables, config)
+    return ExtensionResult(extended, new_registry, history)

@@ -1,0 +1,82 @@
+"""The latent cache of the metadata tower (paper Sec. 4.2.2).
+
+Because the content tower depends on the metadata tower's per-layer outputs
+but not vice versa, Phase 1 can store ``Encode_i^{M_t}`` for every layer and
+Phase 2 can reuse them, skipping the whole metadata-tower recomputation.
+The cache is a bounded LRU keyed by table identity, with hit/miss counters
+so the ablation ("TASTE without caching") can quantify the saving.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CachedEncoding", "LatentCache"]
+
+
+@dataclass
+class CachedEncoding:
+    """Everything Phase 2 needs to reuse Phase 1's metadata encoding."""
+
+    layer_outputs: list[np.ndarray]  # [(1, M, H)] per layer, incl. embeddings
+    meta_mask: np.ndarray  # (1, M) bool
+    col_positions: np.ndarray  # (1, C)
+    numeric: np.ndarray  # (1, C, F)
+    meta_logits: np.ndarray  # (1, C, num_labels) — Phase 1's raw scores
+
+
+@dataclass
+class LatentCache:
+    """Bounded LRU cache of metadata latent representations."""
+
+    capacity: int = 256
+    enabled: bool = True
+    hits: int = 0
+    misses: int = 0
+    _store: "OrderedDict[str, CachedEncoding]" = field(default_factory=OrderedDict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def put(self, key: str, encoding: CachedEncoding) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            self._store[key] = encoding
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+
+    def get(self, key: str) -> CachedEncoding | None:
+        with self._lock:
+            if not self.enabled:
+                self.misses += 1
+                return None
+            encoding = self._store.get(key)
+            if encoding is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._store.move_to_end(key)
+            return encoding
+
+    def invalidate(self, key: str) -> None:
+        with self._lock:
+            self._store.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store

@@ -1,0 +1,227 @@
+"""The four stages of processing one table (paper Sec. 3 and Sec. 5).
+
+Each table flows through, in order:
+
+1. **P1 data preparation** — fetch metadata over the connection (I/O);
+2. **P1 inference** — metadata tower + metadata classifier (compute);
+3. **P2 data preparation** — fetch content for uncertain columns (I/O),
+   skipped when Phase 1 was certain about every column;
+4. **P2 inference** — content tower (reusing cached metadata latents) +
+   content classifier (compute).
+
+:class:`TableJob` holds the state between stages so the pipelined executor
+can interleave stages of different tables (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .. import nn
+from ..db.connection import Connection
+from ..db.schema import TableMetadata
+from ..features.encoding import Batch, collate, split_metadata
+from .latent_cache import CachedEncoding
+from .results import ColumnPrediction, TableResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .detector import TasteDetector
+
+__all__ = ["ChunkState", "TableJob", "STAGE_KINDS"]
+
+# Stage index -> resource class. "prep" stages go to thread pool TP1,
+# "infer" stages to TP2 (Algorithm 1).
+STAGE_KINDS = ("prep", "infer", "prep", "infer")
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+@dataclass
+class ChunkState:
+    """Per-chunk intermediate state between phases."""
+
+    metadata: TableMetadata
+    batch: Batch | None = None
+    cached: CachedEncoding | None = None
+    meta_probs: np.ndarray | None = None
+    uncertain_local: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    column_offset: int = 0  # index of this chunk's first column in the table
+
+
+class TableJob:
+    """Processing state for one table across the four stages."""
+
+    def __init__(self, detector: "TasteDetector", connection: Connection, table_name: str) -> None:
+        self.detector = detector
+        self.connection = connection
+        self.table_name = table_name
+        self.metadata: TableMetadata | None = None
+        self.chunks: list[ChunkState] = []
+        self.content_by_column: dict[int, list[str]] = {}
+        self.result = TableResult(table_name, predictions=[])
+        self.completed_stages = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(STAGE_KINDS)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_stages >= self.num_stages
+
+    def next_stage_kind(self) -> str | None:
+        if self.done:
+            return None
+        return STAGE_KINDS[self.completed_stages]
+
+    def run_next_stage(self) -> None:
+        """Run the next stage; stages must execute in order per table."""
+        stage = self.completed_stages
+        runner = (
+            self.prepare_phase1,
+            self.infer_phase1,
+            self.prepare_phase2,
+            self.infer_phase2,
+        )[stage]
+        started = time.perf_counter()
+        runner()
+        elapsed = time.perf_counter() - started
+        attr = ("prepare1_seconds", "infer1_seconds", "prepare2_seconds", "infer2_seconds")[stage]
+        setattr(self.result, attr, elapsed)
+        self.completed_stages = stage + 1
+
+    # ------------------------------------------------------------------
+    # Stage 1: P1 data preparation (I/O)
+    # ------------------------------------------------------------------
+    def prepare_phase1(self) -> None:
+        self.metadata = self.connection.fetch_metadata(self.table_name)
+        threshold = self.detector.featurizer.config.column_split_threshold
+        offset = 0
+        for chunk_md in split_metadata(self.metadata, threshold):
+            self.chunks.append(ChunkState(chunk_md, column_offset=offset))
+            offset += len(chunk_md.columns)
+
+    # ------------------------------------------------------------------
+    # Stage 2: P1 inference (compute)
+    # ------------------------------------------------------------------
+    def infer_phase1(self) -> None:
+        detector = self.detector
+        policy = detector.thresholds
+        registry = detector.featurizer.registry
+
+        for chunk_index, chunk in enumerate(self.chunks):
+            encoded = detector.featurizer.encode(chunk.metadata)
+            chunk.batch = collate([encoded])
+            with nn.no_grad():
+                meta_layers = detector.model.encode_metadata(chunk.batch)
+                logits = detector.model.meta_logits(chunk.batch, meta_layers)
+            probs = _sigmoid(logits.data[0])  # (C, num_labels)
+            chunk.meta_probs = probs
+
+            cache_key = f"{self.table_name}#{chunk_index}"
+            encoding = CachedEncoding(
+                layer_outputs=[layer.data for layer in meta_layers],
+                meta_mask=chunk.batch.meta_mask,
+                col_positions=chunk.batch.col_positions,
+                numeric=chunk.batch.numeric,
+                meta_logits=logits.data,
+            )
+            if policy.phase2_enabled:
+                detector.cache.put(cache_key, encoding)
+
+            uncertain = policy.uncertain_columns(probs) if policy.phase2_enabled else np.zeros(0, dtype=np.int64)
+            chunk.uncertain_local = uncertain
+            uncertain_set = set(int(i) for i in uncertain)
+
+            for local, column in enumerate(chunk.metadata.columns):
+                admitted = registry.vector_to_labels(probs[local], threshold=policy.beta)
+                uncertain_types = [
+                    registry.label_names[t]
+                    for t in np.flatnonzero(policy.uncertain_mask(probs[local]))
+                ] if local in uncertain_set else []
+                self.result.predictions.append(
+                    ColumnPrediction(
+                        table_name=self.table_name,
+                        column_name=column.column_name,
+                        admitted_types=admitted,
+                        phase=2 if local in uncertain_set else 1,
+                        probabilities=probs[local].copy(),
+                        uncertain_types=uncertain_types,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Stage 3: P2 data preparation (I/O)
+    # ------------------------------------------------------------------
+    def prepare_phase2(self) -> None:
+        detector = self.detector
+        uncertain_names: list[str] = []
+        uncertain_global: list[int] = []
+        for chunk in self.chunks:
+            for local in chunk.uncertain_local:
+                uncertain_global.append(chunk.column_offset + int(local))
+                uncertain_names.append(chunk.metadata.columns[int(local)].column_name)
+        if not uncertain_names:
+            return
+        sample_seed = detector.sample_seed if detector.scan_method == "sample" else None
+        values = self.connection.fetch_values(
+            self.table_name,
+            uncertain_names,
+            limit=detector.featurizer.config.scan_rows,
+            sample_seed=sample_seed,
+        )
+        for global_index, name in zip(uncertain_global, uncertain_names):
+            self.content_by_column[global_index] = values[name]
+
+    # ------------------------------------------------------------------
+    # Stage 4: P2 inference (compute)
+    # ------------------------------------------------------------------
+    def infer_phase2(self) -> None:
+        detector = self.detector
+        policy = detector.thresholds
+        registry = detector.featurizer.registry
+        if not self.content_by_column:
+            return
+
+        # Index predictions by global column position for in-place update.
+        predictions = self.result.predictions
+
+        for chunk_index, chunk in enumerate(self.chunks):
+            if len(chunk.uncertain_local) == 0:
+                continue
+            local_content = {
+                int(local): self.content_by_column[chunk.column_offset + int(local)]
+                for local in chunk.uncertain_local
+                if (chunk.column_offset + int(local)) in self.content_by_column
+            }
+            if not local_content:
+                continue
+            encoded = detector.featurizer.encode(chunk.metadata, local_content)
+            batch = collate([encoded])
+
+            cached = detector.cache.get(f"{self.table_name}#{chunk_index}")
+            with nn.no_grad():
+                if cached is not None:
+                    meta_layers = [nn.Tensor(layer) for layer in cached.layer_outputs]
+                else:
+                    # Cache disabled or evicted: recompute the metadata tower.
+                    meta_layers = detector.model.encode_metadata(batch)
+                content_hidden = detector.model.encode_content(batch, meta_layers)
+                logits = detector.model.content_logits(batch, meta_layers, content_hidden)
+            probs = _sigmoid(logits.data[0])
+
+            for local in local_content:
+                global_index = chunk.column_offset + local
+                prediction = predictions[global_index]
+                prediction.probabilities = probs[local].copy()
+                prediction.admitted_types = registry.vector_to_labels(
+                    probs[local], threshold=policy.phase2_admit
+                )
+                prediction.phase = 2

@@ -1,0 +1,73 @@
+"""Result records produced by the detection framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ColumnPrediction", "TableResult", "DetectionReport"]
+
+
+@dataclass
+class ColumnPrediction:
+    """Final decision for one column.
+
+    ``phase`` records where the decision was made: 1 if Phase 1 was certain,
+    2 if the column went through content verification.
+    """
+
+    table_name: str
+    column_name: str
+    admitted_types: list[str]
+    phase: int
+    probabilities: np.ndarray
+    uncertain_types: list[str] = field(default_factory=list)
+
+
+@dataclass
+class TableResult:
+    """All column predictions for one table plus per-stage timings."""
+
+    table_name: str
+    predictions: list[ColumnPrediction]
+    prepare1_seconds: float = 0.0
+    infer1_seconds: float = 0.0
+    prepare2_seconds: float = 0.0
+    infer2_seconds: float = 0.0
+
+    @property
+    def num_uncertain(self) -> int:
+        return sum(1 for p in self.predictions if p.phase == 2)
+
+
+@dataclass
+class DetectionReport:
+    """Aggregate result of a detection run over many tables."""
+
+    tables: list[TableResult]
+    wall_seconds: float
+    cost: dict[str, float]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def predictions(self) -> list[ColumnPrediction]:
+        return [p for table in self.tables for p in table.predictions]
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.predictions)
+
+    def scanned_ratio(self) -> float:
+        """Fraction of columns that went through Phase 2 content scanning."""
+        if not self.num_columns:
+            return 0.0
+        scanned = sum(1 for p in self.predictions if p.phase == 2)
+        return scanned / self.num_columns
+
+    def predicted_labels(self) -> dict[tuple[str, str], list[str]]:
+        """``{(table, column): admitted types}`` for metric computation."""
+        return {
+            (p.table_name, p.column_name): p.admitted_types for p in self.predictions
+        }

@@ -1,0 +1,65 @@
+"""The (α, β) certainty policy of the TASTE framework (paper Sec. 3.2).
+
+For each column/type probability ``p``:
+
+* ``p >= β``  — the type is *admitted* directly from Phase 1;
+* ``p <= α``  — the type is irrelevant;
+* ``α < p < β`` — the type is *uncertain*; the column joins ``C_u`` and is
+  verified in Phase 2 against column content.
+
+Setting ``α == β`` disables Phase 2 entirely — the strict-privacy mode in
+which the cloud service never reads column content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ThresholdPolicy"]
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """Probability thresholds ``0 <= alpha <= beta <= 1``."""
+
+    alpha: float = 0.1
+    beta: float = 0.9
+    phase2_admit: float = 0.5  # admission threshold applied to Phase-2 output
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= self.beta <= 1.0:
+            raise ValueError(
+                f"need 0 <= alpha <= beta <= 1, got alpha={self.alpha}, beta={self.beta}"
+            )
+        if not 0.0 <= self.phase2_admit <= 1.0:
+            raise ValueError(f"phase2_admit must be a probability, got {self.phase2_admit}")
+
+    @property
+    def phase2_enabled(self) -> bool:
+        """Whether any probability can fall into the uncertain band."""
+        return self.alpha < self.beta
+
+    @staticmethod
+    def privacy_mode(level: float = 0.5) -> "ThresholdPolicy":
+        """The ``α == β`` policy: Phase 2 can never trigger."""
+        return ThresholdPolicy(alpha=level, beta=level)
+
+    # ------------------------------------------------------------------
+    def admitted_mask(self, probabilities: np.ndarray) -> np.ndarray:
+        """Boolean mask of types admitted directly (``p >= β``)."""
+        return np.asarray(probabilities) >= self.beta
+
+    def uncertain_mask(self, probabilities: np.ndarray) -> np.ndarray:
+        """Boolean mask of (column, type) pairs in the uncertain band."""
+        probs = np.asarray(probabilities)
+        return (probs > self.alpha) & (probs < self.beta)
+
+    def uncertain_columns(self, probabilities: np.ndarray) -> np.ndarray:
+        """Indices of uncertain columns given a ``(C, num_types)`` matrix."""
+        return np.flatnonzero(self.uncertain_mask(probabilities).any(axis=-1))
+
+    def phase2_admitted_mask(self, probabilities: np.ndarray) -> np.ndarray:
+        """Types admitted by Phase 2 (plain threshold on the full model)."""
+        return np.asarray(probabilities) >= self.phase2_admit

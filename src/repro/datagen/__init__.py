@@ -1,0 +1,27 @@
+"""Synthetic table corpora standing in for WikiTable and GitTables."""
+
+from . import noise, values
+from .corpora import Corpus, CorpusStats, make_gittables_corpus, make_wikitable_corpus
+from .splits import no_type_ratio, retain_types, split_indices
+from .tables import Column, Table, TableGenConfig, generate_table
+from .types import BACKGROUND, SemanticType, TypeRegistry, default_registry
+
+__all__ = [
+    "values",
+    "noise",
+    "Column",
+    "Table",
+    "TableGenConfig",
+    "generate_table",
+    "SemanticType",
+    "TypeRegistry",
+    "default_registry",
+    "BACKGROUND",
+    "Corpus",
+    "CorpusStats",
+    "make_wikitable_corpus",
+    "make_gittables_corpus",
+    "split_indices",
+    "retain_types",
+    "no_type_ratio",
+]

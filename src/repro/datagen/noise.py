@@ -1,0 +1,42 @@
+"""Metadata-quality degradation used by the corpus generators.
+
+Real cloud schemas are messy: abbreviated identifiers (``cust_nm``),
+cryptic names (``f1``, ``attr3``), and missing comments. These functions
+generate that mess deterministically so the corpus generators can dial in a
+target metadata quality — the knob that separates the WikiTable-like regime
+(noisy; ~45% of columns uncertain after Phase 1) from the GitTables-like
+regime (clean; ~2% uncertain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["abbreviate", "cryptic_name", "maybe_abbreviate"]
+
+_VOWELS = set("aeiou")
+
+
+def abbreviate(word: str) -> str:
+    """Strip inner vowels: ``customer`` -> ``cstmr`` (first letter kept)."""
+    if len(word) <= 3:
+        return word
+    head, rest = word[0], word[1:]
+    stripped = "".join(char for char in rest if char not in _VOWELS)
+    return head + (stripped or rest)
+
+
+def maybe_abbreviate(name: str, rng: np.random.Generator, prob: float) -> str:
+    """Abbreviate each underscore-separated part independently with ``prob``."""
+    parts = name.split("_")
+    out = [
+        abbreviate(part) if rng.random() < prob else part
+        for part in parts
+    ]
+    return "_".join(out)
+
+
+def cryptic_name(rng: np.random.Generator) -> str:
+    """An uninformative auto-generated column name (``f3``, ``attr12``, ``c7``)."""
+    prefix = ("f", "c", "attr", "field", "x")[int(rng.integers(0, 5))]
+    return f"{prefix}{int(rng.integers(1, 40))}"

@@ -1,0 +1,80 @@
+"""Deterministic dataset splitting and the retained-type-set tuning.
+
+``retain_types`` implements the WikiTable-S_k construction of paper
+Sec. 6.6: keep ``k`` randomly-selected semantic types (random seed 0 in the
+paper), strip all other labels, and assign the background type to columns
+left with no labels. This sweeps the ratio of columns without any type, η.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .tables import Table
+from .types import TypeRegistry
+
+__all__ = ["split_indices", "retain_types", "no_type_ratio"]
+
+
+def split_indices(
+    count: int,
+    ratios: tuple[float, float, float] = (0.8, 0.1, 0.1),
+    seed: int = 0,
+) -> dict[str, list[int]]:
+    """Shuffle ``range(count)`` and cut into train/validation/test lists."""
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"split ratios must sum to 1, got {ratios}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(count)
+    train_end = int(round(count * ratios[0]))
+    valid_end = train_end + int(round(count * ratios[1]))
+    return {
+        "train": [int(i) for i in order[:train_end]],
+        "validation": [int(i) for i in order[train_end:valid_end]],
+        "test": [int(i) for i in order[valid_end:]],
+    }
+
+
+def retain_types(
+    tables: list[Table],
+    registry: TypeRegistry,
+    k: int,
+    seed: int = 0,
+) -> tuple[list[Table], TypeRegistry]:
+    """Keep only ``k`` randomly-chosen semantic types; relabel the rest null.
+
+    Returns new tables (content untouched, labels filtered) and the reduced
+    registry S_k. Matches the paper's construction including the seed.
+    """
+    rng = np.random.default_rng(seed)
+    all_names = [t.name for t in registry]
+    if not 0 < k <= len(all_names):
+        raise ValueError(f"k must be in 1..{len(all_names)}, got {k}")
+    retained = set(
+        all_names[int(i)] for i in rng.choice(len(all_names), size=k, replace=False)
+    )
+
+    new_tables = []
+    for table in tables:
+        new_columns = [
+            replace(
+                column,
+                types=[name for name in column.types if name in retained],
+            )
+            for column in table.columns
+        ]
+        new_tables.append(Table(table.name, table.comment, new_columns))
+    return new_tables, registry.subset(sorted(retained))
+
+
+def no_type_ratio(tables: list[Table]) -> float:
+    """η — the fraction of columns without any semantic type."""
+    total = sum(table.num_columns for table in tables)
+    if total == 0:
+        return 0.0
+    untyped = sum(
+        1 for table in tables for column in table.columns if not column.types
+    )
+    return untyped / total

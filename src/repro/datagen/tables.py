@@ -1,0 +1,249 @@
+"""Table model and the synthetic table generator.
+
+A :class:`Table` is the unit TASTE processes (the framework is table-wise,
+paper Sec. 3.1). Each :class:`Column` carries its metadata (name, comment,
+raw type), full content and ground-truth semantic types. The generator
+controls the metadata-quality and label-coverage knobs that distinguish the
+two corpora regimes (see ``repro.datagen.corpora``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from . import noise
+from . import values as V
+from .types import SemanticType, TypeRegistry
+
+__all__ = ["Column", "Table", "TableGenConfig", "generate_table"]
+
+_TABLE_THEMES = (
+    "customers", "orders", "employees", "products", "shipments", "reviews",
+    "accounts", "payments", "flights", "hotels", "events", "sensors",
+    "vehicles", "patients", "students", "movies", "books", "matches",
+    "listings", "tickets", "sessions", "devices", "invoices", "suppliers",
+)
+
+_TABLE_COMMENTS = (
+    "records of {theme} collected by the application",
+    "{theme} master data",
+    "daily snapshot of {theme}",
+    "imported {theme} dataset",
+)
+
+_BACKGROUND_NAMES = ("data", "misc", "info", "extra", "col", "field", "raw", "blob")
+
+_BACKGROUND_GENERATORS = (
+    ("varchar", V.random_word),
+    ("int", V.random_integer),
+    ("float", V.random_float),
+    ("varchar", V.random_token),
+)
+
+
+@dataclass
+class Column:
+    """One table column: metadata, content and ground truth.
+
+    ``types`` is the list of true semantic type names; an empty list means
+    the column has no semantic type (the paper's ``type: null`` background).
+    """
+
+    name: str
+    comment: str
+    raw_type: str
+    values: list[str]
+    types: list[str] = field(default_factory=list)
+
+    @property
+    def has_semantic_type(self) -> bool:
+        return bool(self.types)
+
+    def non_empty_values(self, limit: int | None = None) -> list[str]:
+        """The first ``limit`` non-empty cell values (paper Sec. 6.1.2)."""
+        out = [value for value in self.values if value]
+        return out if limit is None else out[:limit]
+
+
+@dataclass
+class Table:
+    """A relational table with table-level metadata and columns."""
+
+    name: str
+    comment: str
+    columns: list[Column]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0].values) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def split(self, max_columns: int) -> list["Table"]:
+        """Split a wide table into chunks of at most ``max_columns`` columns.
+
+        Implements the column splitting threshold ``l`` (paper Sec. 6.1.2):
+        wide tables are broken up so inter-column attention fits the device.
+        Table-level metadata is replicated into every chunk.
+        """
+        if max_columns <= 0:
+            raise ValueError("max_columns must be positive")
+        if self.num_columns <= max_columns:
+            return [self]
+        chunks = []
+        for start in range(0, self.num_columns, max_columns):
+            chunk_cols = self.columns[start : start + max_columns]
+            chunks.append(Table(self.name, self.comment, chunk_cols))
+        return chunks
+
+
+@dataclass(frozen=True)
+class TableGenConfig:
+    """Knobs of the synthetic table generator.
+
+    Attributes
+    ----------
+    min_columns, max_columns:
+        Column count range (inclusive).
+    min_rows, max_rows:
+        Row count range (inclusive).
+    ambiguous_name_prob:
+        Probability a typed column gets a name from its type's ambiguity
+        pool instead of a clean name. The main metadata-quality knob.
+    abbreviate_prob:
+        Probability each name part is vowel-stripped (``cstmr_nm`` noise).
+    comment_prob:
+        Probability a typed column carries a descriptive comment.
+    table_comment_prob:
+        Probability the table itself carries a comment.
+    background_fraction:
+        Fraction of columns with no semantic type at all (``type: null``).
+    empty_cell_prob:
+        Probability an individual cell is empty (exercises the paper's
+        first-n *non-empty* values scan rule).
+    multi_label:
+        Whether umbrella parent types are co-assigned (multi-label task).
+    """
+
+    min_columns: int = 3
+    max_columns: int = 8
+    min_rows: int = 40
+    max_rows: int = 80
+    ambiguous_name_prob: float = 0.3
+    abbreviate_prob: float = 0.1
+    comment_prob: float = 0.3
+    table_comment_prob: float = 0.5
+    background_fraction: float = 0.0
+    empty_cell_prob: float = 0.05
+    multi_label: bool = True
+
+
+def _typed_column(
+    semantic_type: SemanticType,
+    num_rows: int,
+    config: TableGenConfig,
+    rng: np.random.Generator,
+) -> Column:
+    effective_prob = config.ambiguous_name_prob * semantic_type.ambiguity_weight
+    if semantic_type.ambiguous_names and rng.random() < effective_prob:
+        name = semantic_type.ambiguous_names[
+            int(rng.integers(0, len(semantic_type.ambiguous_names)))
+        ]
+        # Ambiguously-named columns are the ones whose authors did not
+        # bother with metadata; they get no comment either.
+        comment = ""
+    else:
+        name = semantic_type.clean_names[
+            int(rng.integers(0, len(semantic_type.clean_names)))
+        ]
+        name = noise.maybe_abbreviate(name, rng, config.abbreviate_prob)
+        comment = ""
+        if semantic_type.comments and rng.random() < config.comment_prob:
+            comment = semantic_type.comments[
+                int(rng.integers(0, len(semantic_type.comments)))
+            ]
+    values = [
+        "" if rng.random() < config.empty_cell_prob else semantic_type.generator(rng)
+        for _ in range(num_rows)
+    ]
+    labels = [semantic_type.name]
+    if config.multi_label:
+        labels.extend(semantic_type.parents)
+    return Column(name, comment, semantic_type.raw_type, values, labels)
+
+
+def _background_column(
+    num_rows: int, config: TableGenConfig, rng: np.random.Generator
+) -> Column:
+    raw_type, generator = _BACKGROUND_GENERATORS[
+        int(rng.integers(0, len(_BACKGROUND_GENERATORS)))
+    ]
+    if rng.random() < 0.5:
+        name = noise.cryptic_name(rng)
+    else:
+        base = _BACKGROUND_NAMES[int(rng.integers(0, len(_BACKGROUND_NAMES)))]
+        name = f"{base}_{int(rng.integers(1, 20))}" if rng.random() < 0.5 else base
+    values = [
+        "" if rng.random() < config.empty_cell_prob else generator(rng)
+        for _ in range(num_rows)
+    ]
+    return Column(name, "", raw_type, values, [])
+
+
+def _dedupe_names(columns: list[Column]) -> list[Column]:
+    seen: dict[str, int] = {}
+    out = []
+    for column in columns:
+        count = seen.get(column.name, 0)
+        seen[column.name] = count + 1
+        if count:
+            column = replace(column, name=f"{column.name}_{count + 1}")
+        out.append(column)
+    return out
+
+
+def generate_table(
+    registry: TypeRegistry,
+    config: TableGenConfig,
+    rng: np.random.Generator,
+    table_id: int,
+) -> Table:
+    """Generate one synthetic table.
+
+    Semantic types for the typed columns are drawn without replacement from
+    the registry's non-umbrella types; umbrella types only ever appear as
+    secondary labels.
+    """
+    num_columns = int(rng.integers(config.min_columns, config.max_columns + 1))
+    num_rows = int(rng.integers(config.min_rows, config.max_rows + 1))
+
+    primary_types = [t for t in registry if t.clean_names and t.name not in _umbrella_names(registry)]
+    picked_indices = rng.choice(
+        len(primary_types), size=min(num_columns, len(primary_types)), replace=False
+    )
+
+    columns: list[Column] = []
+    for slot in range(num_columns):
+        if rng.random() < config.background_fraction or slot >= len(picked_indices):
+            columns.append(_background_column(num_rows, config, rng))
+        else:
+            semantic_type = primary_types[int(picked_indices[slot])]
+            columns.append(_typed_column(semantic_type, num_rows, config, rng))
+    columns = _dedupe_names(columns)
+
+    theme = _TABLE_THEMES[int(rng.integers(0, len(_TABLE_THEMES)))]
+    name = f"{theme}_{table_id}"
+    comment = ""
+    if rng.random() < config.table_comment_prob:
+        template = _TABLE_COMMENTS[int(rng.integers(0, len(_TABLE_COMMENTS)))]
+        comment = template.format(theme=theme)
+    return Table(name, comment, columns)
+
+
+def _umbrella_names(registry: TypeRegistry) -> set[str]:
+    """Types that only occur as parents of other types."""
+    return {parent for t in registry for parent in t.parents}

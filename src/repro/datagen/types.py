@@ -1,0 +1,532 @@
+"""Semantic type registry.
+
+Each :class:`SemanticType` carries everything the corpus generator needs:
+
+* value generator (content signal),
+* *clean* column-name candidates (strong metadata signal),
+* *ambiguous* column-name candidates shared across several confusable types
+  (weak metadata signal — these are what force TASTE's Phase 2),
+* comment templates (optional extra metadata signal),
+* raw database type, and
+* optional umbrella ``parents`` that are co-labeled, making the task
+  genuinely multi-label as in the paper's problem statement.
+
+``BACKGROUND`` (``type: null``) is the label used for columns without any
+semantic type, exactly as the paper assigns to 31.56% of GitTables columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from . import values as V
+
+__all__ = ["SemanticType", "TypeRegistry", "BACKGROUND", "default_registry"]
+
+BACKGROUND = "type:null"
+
+ValueGenerator = Callable[[np.random.Generator], str]
+
+
+@dataclass(frozen=True)
+class SemanticType:
+    """Definition of one semantic type in the domain set ``S``."""
+
+    name: str
+    category: str
+    raw_type: str
+    generator: ValueGenerator
+    clean_names: tuple[str, ...]
+    ambiguous_names: tuple[str, ...] = ()
+    comments: tuple[str, ...] = ()
+    parents: tuple[str, ...] = ()
+    # How often this type actually uses an ambiguous name, relative to the
+    # corpus-level ambiguous_name_prob. Within each ambiguity pool one
+    # "dominant" type keeps 1.0 and the confusable minority types get a
+    # fraction, so that P(type | ambiguous name) is skewed: a metadata-only
+    # model can usually guess the dominant type (with mid confidence) —
+    # the regime the paper observes on WikiTable.
+    ambiguity_weight: float = 1.0
+
+
+# Ambiguity pools: column names that several confusable types share. A
+# metadata-only model seeing one of these can at best produce the empirical
+# conditional probability over the pool — which is what lands columns in
+# TASTE's uncertain band and activates Phase 2.
+_NUMERIC_ID_POOL = ("num", "number", "no")
+_NAME_POOL = ("name", "title", "label")
+_CODE_POOL = ("code", "cd")
+_ID_POOL = ("id", "identifier", "key")
+_VALUE_POOL = ("value", "amount", "val")
+_ADDRESS_POOL = ("address", "addr", "contact")
+_TIME_POOL = ("time", "dt")
+_MEASURE_POOL = ("measure", "metric", "reading")
+
+
+def _types() -> list[SemanticType]:
+    return [
+        # ----------------------------------------------------------- person
+        SemanticType(
+            "person.first_name", "person", "varchar", V.first_name,
+            clean_names=("first_name", "fname", "given_name"),
+            ambiguous_names=_NAME_POOL,
+            comments=("given name of the person", "customer first name"),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "person.last_name", "person", "varchar", V.last_name,
+            clean_names=("last_name", "lname", "surname", "family_name"),
+            ambiguous_names=_NAME_POOL,
+            comments=("family name", "surname of the user"),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "person.full_name", "person", "varchar", V.full_name,
+            clean_names=("full_name", "person_name", "customer_name"),
+            ambiguous_names=_NAME_POOL,
+            comments=("full legal name", "name of the account holder"),
+        ),
+        SemanticType(
+            "person.age", "person", "int", V.age,
+            clean_names=("age", "age_years"),
+            ambiguous_names=_VALUE_POOL,
+            comments=("age in years",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "person.gender", "person", "varchar", V.gender,
+            clean_names=("gender", "sex"),
+            comments=("gender of the person",),
+        ),
+        SemanticType(
+            "person.email", "person", "varchar", V.email,
+            clean_names=("email", "email_address", "e_mail"),
+            ambiguous_names=_ADDRESS_POOL,
+            comments=("contact email address", "primary email"),
+            parents=("contact.point",),
+            ambiguity_weight=0.3,
+        ),
+        SemanticType(
+            "person.phone", "person", "varchar", V.phone_number,
+            clean_names=("phone", "phone_number", "telephone", "mobile"),
+            ambiguous_names=_NUMERIC_ID_POOL + _ADDRESS_POOL,
+            comments=("contact phone number", "mobile number"),
+            parents=("contact.point",),
+        ),
+        SemanticType(
+            "person.ssn", "person", "varchar", V.ssn,
+            clean_names=("ssn", "social_security_number"),
+            ambiguous_names=_NUMERIC_ID_POOL + _ID_POOL,
+            comments=("social security number", "national id number"),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "person.passport", "person", "varchar", V.passport_number,
+            clean_names=("passport", "passport_number"),
+            ambiguous_names=_NUMERIC_ID_POOL + _ID_POOL,
+            comments=("passport document number",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "finance.credit_card", "finance", "varchar", V.credit_card,
+            clean_names=("credit_card", "card_number", "cc_number"),
+            ambiguous_names=_NUMERIC_ID_POOL,
+            comments=("payment card number", "credit card PAN"),
+            ambiguity_weight=0.3,
+        ),
+        SemanticType(
+            "web.username", "web", "varchar", V.username,
+            clean_names=("username", "login", "user_login"),
+            ambiguous_names=_NAME_POOL + _ID_POOL,
+            comments=("login handle",),
+            ambiguity_weight=0.1,
+        ),
+        # -------------------------------------------------------------- geo
+        SemanticType(
+            "geo.city", "geo", "varchar", V.city,
+            clean_names=("city", "city_name", "town"),
+            ambiguous_names=_NAME_POOL,
+            comments=("city of residence", "destination city"),
+            parents=("geo.location",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "geo.country", "geo", "varchar", V.country,
+            clean_names=("country", "country_name", "nation"),
+            ambiguous_names=_NAME_POOL,
+            comments=("country name",),
+            parents=("geo.location",),
+            ambiguity_weight=0.15,
+        ),
+        SemanticType(
+            "geo.country_code", "geo", "varchar", V.country_code,
+            clean_names=("country_code", "iso_country"),
+            ambiguous_names=_CODE_POOL,
+            comments=("ISO 3166 alpha-2 country code",),
+        ),
+        SemanticType(
+            "geo.state", "geo", "varchar", V.state,
+            clean_names=("state", "province", "region_name"),
+            ambiguous_names=_NAME_POOL,
+            comments=("state or province",),
+            parents=("geo.location",),
+            ambiguity_weight=0.15,
+        ),
+        SemanticType(
+            "geo.street_address", "geo", "varchar", V.street_address,
+            clean_names=("street_address", "street", "address_line1"),
+            ambiguous_names=_ADDRESS_POOL,
+            comments=("street address line",),
+            parents=("geo.location",),
+        ),
+        SemanticType(
+            "geo.zip", "geo", "varchar", V.zip_code,
+            clean_names=("zip", "zip_code", "postal_code"),
+            ambiguous_names=_CODE_POOL + _NUMERIC_ID_POOL,
+            comments=("postal code",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "geo.latitude", "geo", "float", V.latitude,
+            clean_names=("latitude", "lat"),
+            ambiguous_names=_MEASURE_POOL,
+            comments=("latitude in decimal degrees",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "geo.longitude", "geo", "float", V.longitude,
+            clean_names=("longitude", "lon", "lng"),
+            ambiguous_names=_MEASURE_POOL,
+            comments=("longitude in decimal degrees",),
+            ambiguity_weight=0.2,
+        ),
+        # -------------------------------------------------------------- org
+        SemanticType(
+            "org.company", "org", "varchar", V.company_name,
+            clean_names=("company", "company_name", "employer", "vendor"),
+            ambiguous_names=_NAME_POOL,
+            comments=("company or vendor name",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "org.department", "org", "varchar", V.department,
+            clean_names=("department", "dept", "division"),
+            ambiguous_names=_NAME_POOL,
+            comments=("organizational department",),
+            ambiguity_weight=0.1,
+        ),
+        SemanticType(
+            "org.job_title", "org", "varchar", V.job_title,
+            clean_names=("job_title", "position", "role"),
+            ambiguous_names=_NAME_POOL,
+            comments=("employee job title",),
+            ambiguity_weight=0.1,
+        ),
+        # --------------------------------------------------------- commerce
+        SemanticType(
+            "commerce.product", "commerce", "varchar", V.product_name,
+            clean_names=("product", "product_name", "item_name"),
+            ambiguous_names=_NAME_POOL,
+            comments=("product display name",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "commerce.sku", "commerce", "varchar", V.sku,
+            clean_names=("sku", "stock_code", "item_code"),
+            ambiguous_names=_CODE_POOL + _ID_POOL,
+            comments=("stock keeping unit",),
+            ambiguity_weight=0.25,
+        ),
+        SemanticType(
+            "commerce.order_id", "commerce", "varchar", V.order_id,
+            clean_names=("order_id", "order_number"),
+            ambiguous_names=_ID_POOL + _NUMERIC_ID_POOL,
+            comments=("order identifier",),
+            ambiguity_weight=0.3,
+        ),
+        SemanticType(
+            "commerce.price", "commerce", "float", V.price,
+            clean_names=("price", "unit_price", "cost"),
+            ambiguous_names=_VALUE_POOL,
+            comments=("unit price in account currency",),
+        ),
+        SemanticType(
+            "commerce.currency", "commerce", "varchar", V.currency,
+            clean_names=("currency", "currency_code"),
+            ambiguous_names=_CODE_POOL,
+            comments=("ISO 4217 currency code",),
+            ambiguity_weight=0.25,
+        ),
+        SemanticType(
+            "commerce.quantity", "commerce", "int", V.quantity,
+            clean_names=("quantity", "qty", "units"),
+            ambiguous_names=_VALUE_POOL,
+            comments=("number of units",),
+            ambiguity_weight=0.25,
+        ),
+        SemanticType(
+            "commerce.discount", "commerce", "varchar", V.discount,
+            clean_names=("discount", "discount_pct"),
+            ambiguous_names=_VALUE_POOL,
+            comments=("discount percentage",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "finance.iban", "finance", "varchar", V.iban,
+            clean_names=("iban", "bank_account"),
+            ambiguous_names=_NUMERIC_ID_POOL + _ID_POOL,
+            comments=("international bank account number",),
+            ambiguity_weight=0.15,
+        ),
+        # -------------------------------------------------------------- time
+        SemanticType(
+            "time.date", "time", "date", V.iso_date,
+            clean_names=("date", "created_date", "birth_date", "order_date"),
+            ambiguous_names=_TIME_POOL,
+            comments=("calendar date (ISO 8601)",),
+        ),
+        SemanticType(
+            "time.timestamp", "time", "date", V.timestamp,
+            clean_names=("timestamp", "created_at", "updated_at"),
+            ambiguous_names=_TIME_POOL,
+            comments=("event timestamp",),
+            ambiguity_weight=0.3,
+        ),
+        SemanticType(
+            "time.year", "time", "int", V.year,
+            clean_names=("year", "release_year"),
+            ambiguous_names=_NUMERIC_ID_POOL + _TIME_POOL,
+            comments=("four digit year",),
+            ambiguity_weight=0.15,
+        ),
+        SemanticType(
+            "time.month", "time", "varchar", V.month,
+            clean_names=("month", "month_name"),
+            ambiguous_names=_TIME_POOL,
+            comments=("calendar month",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "time.weekday", "time", "varchar", V.weekday,
+            clean_names=("weekday", "day_of_week"),
+            ambiguous_names=_TIME_POOL,
+            comments=("day of the week",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "time.duration", "time", "varchar", V.duration,
+            clean_names=("duration", "elapsed"),
+            ambiguous_names=_TIME_POOL + _VALUE_POOL,
+            comments=("elapsed time",),
+            ambiguity_weight=0.15,
+        ),
+        # -------------------------------------------------------------- web
+        SemanticType(
+            "web.url", "web", "varchar", V.url,
+            clean_names=("url", "link", "website"),
+            ambiguous_names=_ADDRESS_POOL,
+            comments=("web page link",),
+            ambiguity_weight=0.25,
+        ),
+        SemanticType(
+            "web.ip_address", "web", "varchar", V.ip_address,
+            clean_names=("ip", "ip_address", "host_ip"),
+            ambiguous_names=_ADDRESS_POOL,
+            comments=("IPv4 address",),
+            ambiguity_weight=0.25,
+        ),
+        SemanticType(
+            "web.mac_address", "web", "varchar", V.mac_address,
+            clean_names=("mac", "mac_address"),
+            ambiguous_names=_ADDRESS_POOL + _ID_POOL,
+            comments=("hardware MAC address",),
+            ambiguity_weight=0.1,
+        ),
+        SemanticType(
+            "web.domain", "web", "varchar", V.domain_name,
+            clean_names=("domain", "hostname"),
+            ambiguous_names=_NAME_POOL,
+            comments=("DNS domain name",),
+            ambiguity_weight=0.1,
+        ),
+        SemanticType(
+            "web.uuid", "web", "varchar", V.uuid4,
+            clean_names=("uuid", "guid"),
+            ambiguous_names=_ID_POOL,
+            comments=("universally unique identifier",),
+            ambiguity_weight=0.6,
+        ),
+        SemanticType(
+            "tech.file_path", "tech", "varchar", V.file_path,
+            clean_names=("file_path", "path", "filename"),
+            ambiguous_names=_NAME_POOL,
+            comments=("filesystem path",),
+            ambiguity_weight=0.1,
+        ),
+        SemanticType(
+            "tech.version", "tech", "varchar", V.semantic_version,
+            clean_names=("version", "release"),
+            ambiguous_names=_NUMERIC_ID_POOL,
+            comments=("semantic version string",),
+            ambiguity_weight=0.1,
+        ),
+        # -------------------------------------------------------------- misc
+        SemanticType(
+            "misc.language", "misc", "varchar", V.language,
+            clean_names=("language", "lang"),
+            ambiguous_names=_CODE_POOL + _NAME_POOL,
+            comments=("spoken language",),
+            ambiguity_weight=0.1,
+        ),
+        SemanticType(
+            "misc.color", "misc", "varchar", V.color,
+            clean_names=("color", "colour"),
+            ambiguous_names=_NAME_POOL,
+            comments=("display color",),
+            ambiguity_weight=0.1,
+        ),
+        SemanticType(
+            "misc.isbn", "misc", "varchar", V.isbn,
+            clean_names=("isbn", "isbn_13"),
+            ambiguous_names=_NUMERIC_ID_POOL + _CODE_POOL,
+            comments=("book ISBN",),
+            ambiguity_weight=0.15,
+        ),
+        SemanticType(
+            "misc.license_plate", "misc", "varchar", V.license_plate,
+            clean_names=("license_plate", "plate_number"),
+            ambiguous_names=_NUMERIC_ID_POOL + _ID_POOL,
+            comments=("vehicle registration plate",),
+            ambiguity_weight=0.15,
+        ),
+        SemanticType(
+            "misc.rating", "misc", "float", V.rating,
+            clean_names=("rating", "score", "stars"),
+            ambiguous_names=_VALUE_POOL + _MEASURE_POOL,
+            comments=("review rating 1-5",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "misc.percentage", "misc", "varchar", V.percentage,
+            clean_names=("percentage", "pct", "percent"),
+            ambiguous_names=_VALUE_POOL,
+            comments=("share in percent",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "misc.boolean", "misc", "bool", V.boolean_flag,
+            clean_names=("is_active", "flag", "enabled"),
+            ambiguous_names=_VALUE_POOL,
+            comments=("boolean flag",),
+            ambiguity_weight=0.1,
+        ),
+        SemanticType(
+            "measure.temperature", "measure", "float", V.temperature,
+            clean_names=("temperature", "temp_c"),
+            ambiguous_names=_MEASURE_POOL + _VALUE_POOL,
+            comments=("temperature in celsius",),
+        ),
+        SemanticType(
+            "measure.weight", "measure", "float", V.weight_kg,
+            clean_names=("weight", "weight_kg", "mass"),
+            ambiguous_names=_MEASURE_POOL + _VALUE_POOL,
+            comments=("weight in kilograms",),
+            ambiguity_weight=0.2,
+        ),
+        SemanticType(
+            "measure.height", "measure", "float", V.height_cm,
+            clean_names=("height", "height_cm"),
+            ambiguous_names=_MEASURE_POOL + _VALUE_POOL,
+            comments=("height in centimeters",),
+            ambiguity_weight=0.2,
+        ),
+    ]
+
+
+# Umbrella (parent) types that appear only as secondary labels. They belong
+# to the domain set S like any other type, making the problem multi-label.
+_UMBRELLA_TYPES = (
+    SemanticType(
+        "geo.location", "geo", "varchar", V.city,
+        clean_names=("location",),
+        comments=("a geographic location",),
+    ),
+    SemanticType(
+        "contact.point", "contact", "varchar", V.email,
+        clean_names=("contact",),
+        comments=("a way to reach a person",),
+    ),
+)
+
+
+@dataclass
+class TypeRegistry:
+    """The semantic type domain set ``S`` plus lookup helpers."""
+
+    types: list[SemanticType] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name = {t.name: t for t in self.types}
+        if len(self._by_name) != len(self.types):
+            raise ValueError("duplicate semantic type names in registry")
+        for t in self.types:
+            for parent in t.parents:
+                if parent not in self._by_name:
+                    raise ValueError(f"{t.name}: unknown parent type {parent!r}")
+        # Stable label indexing: BACKGROUND last so that S proper = [:-1].
+        self.label_names = sorted(self._by_name) + [BACKGROUND]
+        self._label_index = {name: i for i, name in enumerate(self.label_names)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def __iter__(self):
+        return iter(self.types)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> SemanticType:
+        return self._by_name[name]
+
+    @property
+    def num_labels(self) -> int:
+        """Number of prediction targets (|S| + 1 for the background type)."""
+        return len(self.label_names)
+
+    def label_id(self, name: str) -> int:
+        return self._label_index[name]
+
+    def labels_to_vector(self, names: list[str]) -> np.ndarray:
+        """Encode a list of type names (empty => BACKGROUND) as a 0/1 vector."""
+        vector = np.zeros(self.num_labels, dtype=np.float32)
+        if not names:
+            vector[self._label_index[BACKGROUND]] = 1.0
+            return vector
+        for name in names:
+            vector[self._label_index[name]] = 1.0
+        return vector
+
+    def vector_to_labels(self, vector: np.ndarray, threshold: float = 0.5) -> list[str]:
+        """Decode a probability vector back to type names (background dropped)."""
+        picked = [
+            self.label_names[i]
+            for i in np.flatnonzero(np.asarray(vector) >= threshold)
+        ]
+        return [name for name in picked if name != BACKGROUND]
+
+    def subset(self, names: list[str]) -> "TypeRegistry":
+        """Registry restricted to ``names`` (parents of kept types retained)."""
+        keep = set(names)
+        for name in names:
+            keep.update(self._by_name[name].parents)
+        return TypeRegistry([t for t in self.types if t.name in keep])
+
+
+def default_registry() -> TypeRegistry:
+    """The full 56-type domain set used throughout the reproduction."""
+    return TypeRegistry(_types() + list(_UMBRELLA_TYPES))

@@ -1,0 +1,474 @@
+"""Synthetic value generators for semantic types.
+
+Each generator is a pure function of a ``numpy.random.Generator`` and
+returns one cell value as a string. Formats follow the real-world patterns
+the paper's semantic types imply (Luhn-valid card numbers, ISO dates,
+RFC-ish emails, ...) so that content-based models — and the regex baseline —
+have the same signal they would have on the public corpora.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "CITIES",
+    "COUNTRIES",
+    "COUNTRY_CODES",
+    "STATES",
+    "CURRENCIES",
+    "LANGUAGES",
+    "COLORS",
+    "WEEKDAYS",
+    "MONTHS",
+    "JOB_TITLES",
+    "DEPARTMENTS",
+    "COMPANY_SUFFIXES",
+    "PRODUCT_NOUNS",
+    "STREET_SUFFIXES",
+    "EMAIL_DOMAINS",
+    "luhn_checksum_digit",
+    "is_luhn_valid",
+]
+
+FIRST_NAMES = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda",
+    "william", "elizabeth", "david", "barbara", "richard", "susan", "joseph",
+    "jessica", "thomas", "sarah", "carlos", "karen", "daniel", "nancy", "wei",
+    "lisa", "matthew", "betty", "anthony", "margaret", "mark", "sandra", "tao",
+    "ashley", "steven", "kim", "andrew", "emily", "paulo", "donna", "joshua",
+    "michelle", "kenji", "carol", "amir", "amanda", "igor", "melissa",
+)
+
+LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "chen", "li",
+    "zhang", "wang", "kumar", "singh",
+)
+
+CITIES = (
+    "london", "paris", "tokyo", "shenzhen", "beijing", "new york", "chicago",
+    "houston", "berlin", "madrid", "rome", "vienna", "prague", "oslo",
+    "helsinki", "dublin", "lisbon", "athens", "warsaw", "budapest", "seoul",
+    "osaka", "bangkok", "hanoi", "mumbai", "delhi", "cairo", "lagos",
+    "nairobi", "sydney", "melbourne", "auckland", "toronto", "vancouver",
+    "montreal", "mexico city", "lima", "bogota", "santiago", "sao paulo",
+    "buenos aires", "guangzhou", "shanghai", "amsterdam", "brussels",
+    "zurich", "geneva", "stockholm", "copenhagen", "moscow", "istanbul",
+    "dubai", "singapore", "jakarta", "manila", "kuala lumpur",
+)
+
+COUNTRIES = (
+    "china", "united states", "india", "indonesia", "pakistan", "brazil",
+    "nigeria", "bangladesh", "russia", "mexico", "japan", "ethiopia",
+    "philippines", "egypt", "vietnam", "germany", "turkey", "iran",
+    "thailand", "france", "united kingdom", "italy", "south africa",
+    "south korea", "spain", "argentina", "algeria", "canada", "australia",
+    "netherlands", "belgium", "sweden", "portugal", "greece", "switzerland",
+    "austria", "norway", "denmark", "finland", "ireland", "poland",
+    "czechia", "hungary", "romania", "chile", "peru", "colombia", "kenya",
+    "morocco", "singapore",
+)
+
+COUNTRY_CODES = (
+    "cn", "us", "in", "id", "pk", "br", "ng", "bd", "ru", "mx", "jp", "et",
+    "ph", "eg", "vn", "de", "tr", "ir", "th", "fr", "gb", "it", "za", "kr",
+    "es", "ar", "dz", "ca", "au", "nl", "be", "se", "pt", "gr", "ch", "at",
+    "no", "dk", "fi", "ie", "pl", "cz", "hu", "ro", "cl", "pe", "co", "ke",
+    "ma", "sg",
+)
+
+STATES = (
+    "california", "texas", "florida", "new york", "pennsylvania", "illinois",
+    "ohio", "georgia", "north carolina", "michigan", "new jersey",
+    "virginia", "washington", "arizona", "massachusetts", "tennessee",
+    "indiana", "missouri", "maryland", "wisconsin", "colorado", "minnesota",
+    "south carolina", "alabama", "louisiana", "kentucky", "oregon",
+    "oklahoma", "connecticut", "utah", "iowa", "nevada",
+)
+
+CURRENCIES = ("usd", "eur", "cny", "jpy", "gbp", "inr", "brl", "rub", "krw",
+              "cad", "aud", "chf", "sek", "mxn", "sgd", "hkd", "nok", "try")
+
+LANGUAGES = ("english", "mandarin", "hindi", "spanish", "french", "arabic",
+             "bengali", "russian", "portuguese", "urdu", "german", "japanese",
+             "swahili", "marathi", "telugu", "turkish", "korean", "tamil",
+             "vietnamese", "italian")
+
+COLORS = ("red", "green", "blue", "yellow", "purple", "orange", "black",
+          "white", "gray", "pink", "brown", "cyan", "magenta", "teal",
+          "maroon", "navy", "olive", "silver", "gold", "beige")
+
+WEEKDAYS = ("monday", "tuesday", "wednesday", "thursday", "friday",
+            "saturday", "sunday")
+
+MONTHS = ("january", "february", "march", "april", "may", "june", "july",
+          "august", "september", "october", "november", "december")
+
+JOB_TITLES = ("software engineer", "data analyst", "product manager",
+              "account executive", "research scientist", "sales manager",
+              "hr specialist", "marketing director", "devops engineer",
+              "financial analyst", "operations lead", "qa engineer",
+              "ux designer", "database administrator", "support agent",
+              "technical writer", "security analyst", "consultant")
+
+DEPARTMENTS = ("engineering", "sales", "marketing", "finance", "hr",
+               "operations", "legal", "support", "research", "design",
+               "security", "procurement", "logistics", "it")
+
+COMPANY_SUFFIXES = ("inc", "ltd", "llc", "corp", "group", "labs", "systems",
+                    "technologies", "solutions", "holdings", "partners")
+
+PRODUCT_NOUNS = ("widget", "gadget", "panel", "sensor", "module", "adapter",
+                 "cable", "battery", "charger", "monitor", "keyboard",
+                 "router", "camera", "speaker", "drive", "printer", "lamp",
+                 "desk", "chair", "notebook")
+
+_PRODUCT_ADJECTIVES = ("ultra", "compact", "smart", "pro", "mini", "max",
+                       "eco", "turbo", "prime", "classic", "nano", "mega")
+
+STREET_SUFFIXES = ("street", "avenue", "road", "boulevard", "lane", "drive",
+                   "court", "place", "way", "terrace")
+
+_STREET_NAMES = ("oak", "maple", "cedar", "pine", "elm", "main", "park",
+                 "washington", "lake", "hill", "river", "sunset", "highland",
+                 "church", "spring", "mill", "walnut", "chestnut")
+
+EMAIL_DOMAINS = ("example.com", "mail.net", "corp.org", "webmail.io",
+                 "company.cn", "inbox.dev", "post.co")
+
+_WORD_POOL = (
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "omega", "sigma",
+    "lorem", "ipsum", "dolor", "amet", "vector", "matrix", "tensor", "node",
+    "graph", "token", "stream", "batch", "shard", "index", "query", "cache",
+)
+
+
+def _choice(rng: np.random.Generator, pool: tuple[str, ...]) -> str:
+    return pool[int(rng.integers(0, len(pool)))]
+
+
+def _digits(rng: np.random.Generator, count: int) -> str:
+    return "".join(str(int(d)) for d in rng.integers(0, 10, count))
+
+
+# ----------------------------------------------------------------------
+# Checksummed identifiers
+# ----------------------------------------------------------------------
+def luhn_checksum_digit(partial: str) -> str:
+    """Compute the Luhn check digit for a digit string (card numbers)."""
+    total = 0
+    for index, char in enumerate(reversed(partial)):
+        digit = int(char)
+        if index % 2 == 0:  # positions counted with the check digit appended
+            digit *= 2
+            if digit > 9:
+                digit -= 9
+        total += digit
+    return str((10 - total % 10) % 10)
+
+
+def is_luhn_valid(number: str) -> bool:
+    """Validate a (possibly separator-containing) card number with Luhn."""
+    digits = [c for c in number if c.isdigit()]
+    if len(digits) < 2:
+        return False
+    total = 0
+    for index, char in enumerate(reversed(digits)):
+        digit = int(char)
+        if index % 2 == 1:
+            digit *= 2
+            if digit > 9:
+                digit -= 9
+        total += digit
+    return total % 10 == 0
+
+
+# ----------------------------------------------------------------------
+# Person
+# ----------------------------------------------------------------------
+def first_name(rng: np.random.Generator) -> str:
+    return _choice(rng, FIRST_NAMES)
+
+
+def last_name(rng: np.random.Generator) -> str:
+    return _choice(rng, LAST_NAMES)
+
+
+def full_name(rng: np.random.Generator) -> str:
+    return f"{first_name(rng)} {last_name(rng)}"
+
+
+def age(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(18, 95)))
+
+
+def gender(rng: np.random.Generator) -> str:
+    return _choice(rng, ("male", "female", "m", "f", "other"))
+
+
+def email(rng: np.random.Generator) -> str:
+    sep = _choice(rng, (".", "_", ""))
+    return f"{first_name(rng)}{sep}{last_name(rng)}@{_choice(rng, EMAIL_DOMAINS)}"
+
+
+def phone_number(rng: np.random.Generator) -> str:
+    style = int(rng.integers(0, 3))
+    if style == 0:
+        return f"+1-{_digits(rng, 3)}-{_digits(rng, 3)}-{_digits(rng, 4)}"
+    if style == 1:
+        return f"({_digits(rng, 3)}) {_digits(rng, 3)}-{_digits(rng, 4)}"
+    return f"{_digits(rng, 3)}-{_digits(rng, 4)}"
+
+
+def ssn(rng: np.random.Generator) -> str:
+    return f"{_digits(rng, 3)}-{_digits(rng, 2)}-{_digits(rng, 4)}"
+
+
+def passport_number(rng: np.random.Generator) -> str:
+    letter = chr(ord("a") + int(rng.integers(0, 26))).upper()
+    return f"{letter}{_digits(rng, 8)}"
+
+
+def credit_card(rng: np.random.Generator) -> str:
+    prefix = _choice(rng, ("4", "51", "52", "37"))
+    body = prefix + _digits(rng, 15 - len(prefix))
+    number = body + luhn_checksum_digit(body)
+    groups = [number[i : i + 4] for i in range(0, 16, 4)]
+    return _choice(rng, (" ", "-")).join(groups)
+
+
+def username(rng: np.random.Generator) -> str:
+    return f"{first_name(rng)}{_digits(rng, int(rng.integers(1, 4)))}"
+
+
+# ----------------------------------------------------------------------
+# Geography
+# ----------------------------------------------------------------------
+def city(rng: np.random.Generator) -> str:
+    return _choice(rng, CITIES)
+
+
+def country(rng: np.random.Generator) -> str:
+    return _choice(rng, COUNTRIES)
+
+
+def country_code(rng: np.random.Generator) -> str:
+    return _choice(rng, COUNTRY_CODES)
+
+
+def state(rng: np.random.Generator) -> str:
+    return _choice(rng, STATES)
+
+
+def street_address(rng: np.random.Generator) -> str:
+    return (
+        f"{int(rng.integers(1, 9999))} {_choice(rng, _STREET_NAMES)} "
+        f"{_choice(rng, STREET_SUFFIXES)}"
+    )
+
+
+def zip_code(rng: np.random.Generator) -> str:
+    return _digits(rng, 5)
+
+
+def latitude(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(-90, 90):.4f}"
+
+
+def longitude(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(-180, 180):.4f}"
+
+
+# ----------------------------------------------------------------------
+# Organization / commerce
+# ----------------------------------------------------------------------
+def company_name(rng: np.random.Generator) -> str:
+    return f"{_choice(rng, _WORD_POOL)} {_choice(rng, COMPANY_SUFFIXES)}"
+
+
+def department(rng: np.random.Generator) -> str:
+    return _choice(rng, DEPARTMENTS)
+
+
+def job_title(rng: np.random.Generator) -> str:
+    return _choice(rng, JOB_TITLES)
+
+
+def product_name(rng: np.random.Generator) -> str:
+    return f"{_choice(rng, _PRODUCT_ADJECTIVES)} {_choice(rng, PRODUCT_NOUNS)}"
+
+
+def sku(rng: np.random.Generator) -> str:
+    letters = "".join(chr(ord("a") + int(c)).upper() for c in rng.integers(0, 26, 2))
+    return f"{letters}-{_digits(rng, 4)}"
+
+
+def order_id(rng: np.random.Generator) -> str:
+    return f"ORD-{_digits(rng, 6)}"
+
+
+def price(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(0.5, 2000):.2f}"
+
+
+def currency(rng: np.random.Generator) -> str:
+    return _choice(rng, CURRENCIES)
+
+
+def quantity(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(1, 500)))
+
+
+def discount(rng: np.random.Generator) -> str:
+    return f"{int(rng.integers(0, 75))}%"
+
+
+def iban(rng: np.random.Generator) -> str:
+    code = _choice(rng, ("de", "fr", "gb", "es", "nl")).upper()
+    return f"{code}{_digits(rng, 2)} {_digits(rng, 4)} {_digits(rng, 4)} {_digits(rng, 4)}"
+
+
+# ----------------------------------------------------------------------
+# Time
+# ----------------------------------------------------------------------
+def iso_date(rng: np.random.Generator) -> str:
+    return (
+        f"{int(rng.integers(1970, 2025)):04d}-"
+        f"{int(rng.integers(1, 13)):02d}-"
+        f"{int(rng.integers(1, 29)):02d}"
+    )
+
+
+def timestamp(rng: np.random.Generator) -> str:
+    return (
+        f"{iso_date(rng)} "
+        f"{int(rng.integers(0, 24)):02d}:{int(rng.integers(0, 60)):02d}:"
+        f"{int(rng.integers(0, 60)):02d}"
+    )
+
+
+def year(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(1900, 2026)))
+
+
+def month(rng: np.random.Generator) -> str:
+    return _choice(rng, MONTHS)
+
+
+def weekday(rng: np.random.Generator) -> str:
+    return _choice(rng, WEEKDAYS)
+
+
+def duration(rng: np.random.Generator) -> str:
+    return f"{int(rng.integers(0, 12))}h {int(rng.integers(0, 60))}m"
+
+
+# ----------------------------------------------------------------------
+# Web / tech
+# ----------------------------------------------------------------------
+def url(rng: np.random.Generator) -> str:
+    return (
+        f"https://www.{_choice(rng, _WORD_POOL)}.{_choice(rng, ('com', 'org', 'io', 'net'))}"
+        f"/{_choice(rng, _WORD_POOL)}"
+    )
+
+
+def ip_address(rng: np.random.Generator) -> str:
+    return ".".join(str(int(octet)) for octet in rng.integers(1, 255, 4))
+
+
+def mac_address(rng: np.random.Generator) -> str:
+    return ":".join(f"{int(byte):02x}" for byte in rng.integers(0, 256, 6))
+
+
+def domain_name(rng: np.random.Generator) -> str:
+    return f"{_choice(rng, _WORD_POOL)}.{_choice(rng, ('com', 'org', 'io', 'net', 'dev'))}"
+
+
+def uuid4(rng: np.random.Generator) -> str:
+    hex_chars = "0123456789abcdef"
+    def h(count: int) -> str:
+        return "".join(hex_chars[int(index)] for index in rng.integers(0, 16, count))
+    return f"{h(8)}-{h(4)}-4{h(3)}-{h(4)}-{h(12)}"
+
+
+def file_path(rng: np.random.Generator) -> str:
+    depth = int(rng.integers(1, 4))
+    parts = [_choice(rng, _WORD_POOL) for _ in range(depth)]
+    ext = _choice(rng, ("csv", "txt", "json", "parquet", "log"))
+    return "/" + "/".join(parts) + f"/{_choice(rng, _WORD_POOL)}.{ext}"
+
+
+def semantic_version(rng: np.random.Generator) -> str:
+    return f"{int(rng.integers(0, 10))}.{int(rng.integers(0, 20))}.{int(rng.integers(0, 50))}"
+
+
+# ----------------------------------------------------------------------
+# Misc
+# ----------------------------------------------------------------------
+def language(rng: np.random.Generator) -> str:
+    return _choice(rng, LANGUAGES)
+
+
+def color(rng: np.random.Generator) -> str:
+    return _choice(rng, COLORS)
+
+
+def isbn(rng: np.random.Generator) -> str:
+    return f"978-{_digits(rng, 1)}-{_digits(rng, 4)}-{_digits(rng, 4)}-{_digits(rng, 1)}"
+
+
+def license_plate(rng: np.random.Generator) -> str:
+    letters = "".join(chr(ord("a") + int(c)).upper() for c in rng.integers(0, 26, 3))
+    return f"{letters}-{_digits(rng, 4)}"
+
+
+def rating(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(1.0, 5.0):.1f}"
+
+
+def percentage(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(0, 100):.1f}%"
+
+
+def boolean_flag(rng: np.random.Generator) -> str:
+    return _choice(rng, ("true", "false", "yes", "no", "0", "1"))
+
+
+def temperature(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(-30, 45):.1f}"
+
+
+def weight_kg(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(0.1, 500):.2f}"
+
+
+def height_cm(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(30, 220):.1f}"
+
+
+# ----------------------------------------------------------------------
+# Background (no semantic type) fillers
+# ----------------------------------------------------------------------
+def random_word(rng: np.random.Generator) -> str:
+    return _choice(rng, _WORD_POOL)
+
+
+def random_integer(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(-10000, 10000)))
+
+
+def random_float(rng: np.random.Generator) -> str:
+    return f"{rng.uniform(-1000, 1000):.3f}"
+
+
+def random_token(rng: np.random.Generator) -> str:
+    letters = "".join(chr(ord("a") + int(c)) for c in rng.integers(0, 26, int(rng.integers(4, 10))))
+    return letters

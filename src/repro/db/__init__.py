@@ -1,0 +1,30 @@
+"""Simulated cloud database substrate (RDS-MySQL stand-in)."""
+
+from .connection import Connection, ConnectionClosedError, SQLSyntaxError
+from .cost import CostLedger, CostModel
+from .engine import Database, StoredColumn, StoredTable
+from .pool import ConnectionPool, PoolExhaustedError, PoolStats
+from .histogram import EQUAL_HEIGHT, EQUAL_WIDTH, Histogram, build_histogram
+from .schema import ColumnMetadata, TableMetadata
+from .server import CloudDatabaseServer
+
+__all__ = [
+    "Database",
+    "StoredColumn",
+    "StoredTable",
+    "Connection",
+    "ConnectionClosedError",
+    "SQLSyntaxError",
+    "CostLedger",
+    "CostModel",
+    "Histogram",
+    "build_histogram",
+    "EQUAL_WIDTH",
+    "EQUAL_HEIGHT",
+    "ColumnMetadata",
+    "TableMetadata",
+    "CloudDatabaseServer",
+    "ConnectionPool",
+    "PoolStats",
+    "PoolExhaustedError",
+]

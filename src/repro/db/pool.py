@@ -1,0 +1,123 @@
+"""Connection pooling for the simulated cloud database.
+
+The paper recommends batching tables from a common database so the
+(costly) connection setup is paid once and reused (Sec. 5). The pool makes
+that reuse explicit and measurable: acquiring a pooled connection is free;
+only pool growth pays :attr:`CostModel.connect_latency`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .connection import Connection
+from .server import CloudDatabaseServer
+
+__all__ = ["ConnectionPool", "PoolStats", "PoolExhaustedError"]
+
+
+class PoolExhaustedError(RuntimeError):
+    """Raised when acquiring from a full pool with no idle connections."""
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Counters describing how much connection reuse the pool achieved."""
+
+    created: int
+    acquired: int
+    reused: int
+
+    @property
+    def reuse_ratio(self) -> float:
+        return self.reused / self.acquired if self.acquired else 0.0
+
+
+class ConnectionPool:
+    """A bounded pool of reusable connections to one database server.
+
+    Thread-safe; usable directly or via the context-manager protocol::
+
+        pool = ConnectionPool(server, max_size=4)
+        with pool.lease() as conn:
+            conn.fetch_metadata("orders_1")
+    """
+
+    def __init__(self, server: CloudDatabaseServer, max_size: int = 4) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self._server = server
+        self._max_size = max_size
+        self._idle: list[Connection] = []
+        self._created = 0
+        self._acquired = 0
+        self._reused = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def acquire(self, block: bool = False, timeout: float = 5.0) -> Connection:
+        """Take a connection: an idle one if available, else a new one.
+
+        With ``block=False`` (default) a :class:`PoolExhaustedError` is
+        raised when the pool is at capacity with nothing idle; with
+        ``block=True`` the caller waits up to ``timeout`` seconds.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                self._acquired += 1
+                if self._idle:
+                    self._reused += 1
+                    return self._idle.pop()
+                if self._created < self._max_size:
+                    self._created += 1
+                    break  # create outside the lock (it sleeps)
+                self._acquired -= 1  # did not hand anything out
+            if not block or time.monotonic() >= deadline:
+                raise PoolExhaustedError(
+                    f"pool at capacity ({self._max_size}) with no idle connections"
+                )
+            time.sleep(0.005)
+        return self._server.connect()
+
+    def release(self, connection: Connection) -> None:
+        """Return a connection for reuse (closed connections are dropped)."""
+        with self._lock:
+            if connection._closed:  # noqa: SLF001 - pool owns its connections
+                self._created -= 1
+                return
+            self._idle.append(connection)
+
+    def lease(self) -> "_Lease":
+        """Context manager acquiring on enter and releasing on exit."""
+        return _Lease(self)
+
+    def close(self) -> None:
+        """Close all idle connections."""
+        with self._lock:
+            for connection in self._idle:
+                connection.close()
+            self._created -= len(self._idle)
+            self._idle.clear()
+
+    @property
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(self._created, self._acquired, self._reused)
+
+
+class _Lease:
+    def __init__(self, pool: ConnectionPool) -> None:
+        self._pool = pool
+        self._connection: Connection | None = None
+
+    def __enter__(self) -> Connection:
+        self._connection = self._pool.acquire(block=True)
+        return self._connection
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._connection is not None
+        self._pool.release(self._connection)

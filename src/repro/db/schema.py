@@ -1,0 +1,50 @@
+"""Metadata records exposed by the simulated ``information_schema``.
+
+These are the *native metadata* of paper Sec. 3.2: always-available schema
+facts (names, comments, data types, nullability) plus table statistics
+(row counts, distinct counts, null fractions, value lengths) and — only
+after ``ANALYZE TABLE`` — histograms. Phase 1 of TASTE consumes exactly
+this structure and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .histogram import Histogram
+
+__all__ = ["ColumnMetadata", "TableMetadata"]
+
+
+@dataclass(frozen=True)
+class ColumnMetadata:
+    """One row of ``information_schema.columns`` plus statistics."""
+
+    table_name: str
+    column_name: str
+    ordinal: int
+    data_type: str
+    is_nullable: bool
+    column_comment: str
+    num_rows: int
+    num_distinct: int
+    null_fraction: float
+    avg_length: float
+    max_length: int
+    histogram: Histogram | None = None
+
+
+@dataclass(frozen=True)
+class TableMetadata:
+    """Table-level metadata with its columns' metadata."""
+
+    name: str
+    comment: str
+    num_rows: int
+    columns: tuple[ColumnMetadata, ...]
+
+    def column(self, name: str) -> ColumnMetadata:
+        for column in self.columns:
+            if column.column_name == name:
+                return column
+        raise KeyError(f"no column {name!r} in table {self.name!r}")

@@ -1,0 +1,31 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from . import (
+    ablation_awl,
+    ablation_pretrain,
+    common,
+    extra_baselines,
+    fig4_execution_time,
+    fig5_scanned_ratio,
+    fig6_no_type_ratio,
+    fig7_alpha_beta,
+    fig8_l_n,
+    table2_datasets,
+    table3_f1,
+    table4_metadata_only,
+)
+
+__all__ = [
+    "common",
+    "ablation_awl",
+    "extra_baselines",
+    "ablation_pretrain",
+    "table2_datasets",
+    "table3_f1",
+    "table4_metadata_only",
+    "fig4_execution_time",
+    "fig5_scanned_ratio",
+    "fig6_no_type_ratio",
+    "fig7_alpha_beta",
+    "fig8_l_n",
+]

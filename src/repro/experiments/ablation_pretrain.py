@@ -1,0 +1,120 @@
+"""Ablation: MLM pre-training of the shared encoder before fine-tuning.
+
+The paper initializes ADTD from a checkpoint pre-trained on an unlabeled
+table corpus (Sec. 4.2.1) and fine-tunes from there. This ablation
+measures what that buys at this reproduction's scale: one model is MLM
+pre-trained on the unlabeled training tables then fine-tuned, the other is
+fine-tuned from random initialization with the same budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import nn
+from ..core import (
+    ADTDConfig,
+    ADTDModel,
+    PretrainConfig,
+    TasteDetector,
+    ThresholdPolicy,
+    TrainConfig,
+    fine_tune,
+    pretrain_mlm,
+)
+from ..metrics import ground_truth_map, micro_prf, render_table
+from .common import (
+    Scale,
+    cache_dir,
+    encoder_config,
+    get_corpus,
+    get_featurizer,
+    get_scale,
+    make_server,
+)
+
+__all__ = ["PretrainAblationResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class PretrainRow:
+    initialization: str
+    f1: float
+    scanned_ratio: float
+    final_meta_loss: float
+
+
+@dataclass
+class PretrainAblationResult:
+    rows: list[PretrainRow]
+
+    def get(self, initialization: str) -> PretrainRow:
+        for row in self.rows:
+            if row.initialization == initialization:
+                return row
+        raise KeyError(initialization)
+
+    def render(self) -> str:
+        body = [
+            [
+                row.initialization,
+                f"{row.f1:.4f}",
+                f"{row.scanned_ratio * 100:.1f}%",
+                f"{row.final_meta_loss:.4f}",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            ["Initialization", "F1", "scanned", "final meta loss"],
+            body,
+            title="Ablation: MLM pre-training before fine-tuning (WikiTable)",
+        )
+
+
+def run(scale: Scale | None = None) -> PretrainAblationResult:
+    scale = scale or get_scale()
+    corpus = get_corpus("wikitable", scale)
+    featurizer = get_featurizer(corpus, scale)
+    ground_truth = ground_truth_map(corpus.test)
+    rows = []
+    for initialization, pretrained in (("random init", False), ("MLM pre-trained", True)):
+        variant = "taste-pretrained" if pretrained else "taste-nopretrain"
+        path = cache_dir() / f"{scale.name}-wikitable-{variant}.npz"
+        model = ADTDModel(
+            ADTDConfig(
+                encoder_config(len(featurizer.tokenizer)),
+                num_labels=corpus.registry.num_labels,
+            ),
+            seed=0,
+        )
+        final_meta_loss = float("nan")
+        if path.exists():
+            nn.load_checkpoint(model, path)
+            model.eval()
+        else:
+            if pretrained:
+                pretrain_mlm(
+                    model, featurizer, corpus.train, PretrainConfig(epochs=2)
+                )
+            history = fine_tune(
+                model, featurizer, corpus.train, TrainConfig(epochs=scale.taste_epochs)
+            )
+            final_meta_loss = history.meta_losses[-1]
+            nn.save_checkpoint(model, path)
+
+        report = TasteDetector(
+            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+        ).detect(make_server(corpus.test))
+        rows.append(
+            PretrainRow(
+                initialization=initialization,
+                f1=micro_prf(report.predicted_labels(), ground_truth).f1,
+                scanned_ratio=report.scanned_ratio(),
+                final_meta_loss=final_meta_loss,
+            )
+        )
+    return PretrainAblationResult(rows)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

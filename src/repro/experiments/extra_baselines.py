@@ -1,0 +1,124 @@
+"""Extra baselines: the non-Transformer detector families of paper Sec. 7.
+
+Places the regex, dictionary and Sherlock-like detectors on the same
+WikiTable-like benchmark as TASTE, quantifying the motivation the paper
+gives for DL-based approaches: pattern/lookup methods are precise but only
+cover format- or vocabulary-bound types (low recall), and all of them must
+scan every column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..baselines import (
+    DictionaryTypeDetector,
+    RegexTypeDetector,
+    SherlockModel,
+    SherlockTrainConfig,
+    sherlock_features,
+    train_sherlock,
+)
+from ..core import TasteDetector, ThresholdPolicy
+from ..metrics import ground_truth_map, micro_prf, render_table
+from .common import Scale, get_corpus, get_scale, get_taste_model, make_server
+
+__all__ = ["ExtraBaselinesResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class BaselineRow:
+    approach: str
+    precision: float
+    recall: float
+    f1: float
+    scans_content: bool
+
+
+@dataclass
+class ExtraBaselinesResult:
+    rows: list[BaselineRow]
+
+    def get(self, approach: str) -> BaselineRow:
+        for row in self.rows:
+            if row.approach == approach:
+                return row
+        raise KeyError(approach)
+
+    def render(self) -> str:
+        body = [
+            [
+                row.approach,
+                f"{row.precision:.4f}",
+                f"{row.recall:.4f}",
+                f"{row.f1:.4f}",
+                "yes" if row.scans_content else "no",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            ["Approach", "Precision", "Recall", "F1", "scans content"],
+            body,
+            title="Extra baselines: non-Transformer detector families (WikiTable)",
+        )
+
+
+def _column_level_eval(detect_column, tables, ground_truth) -> tuple[float, float, float]:
+    predictions = {}
+    for table in tables:
+        for column in table.columns:
+            values = column.non_empty_values(limit=10)
+            predictions[(table.name, column.name)] = detect_column(values)
+    prf = micro_prf(predictions, ground_truth)
+    return prf.precision, prf.recall, prf.f1
+
+
+def run(scale: Scale | None = None) -> ExtraBaselinesResult:
+    scale = scale or get_scale()
+    corpus = get_corpus("wikitable", scale)
+    ground_truth = ground_truth_map(corpus.test)
+    rows = []
+
+    # Regex and dictionary: no training, content only.
+    for approach, detector in (
+        ("regex", RegexTypeDetector()),
+        ("dictionary", DictionaryTypeDetector()),
+    ):
+        precision, recall, f1 = _column_level_eval(
+            detector.detect_column, corpus.test, ground_truth
+        )
+        rows.append(BaselineRow(approach, precision, recall, f1, True))
+
+    # Sherlock-like: trained on content features.
+    sherlock = SherlockModel(corpus.registry.num_labels, seed=3)
+    train_sherlock(
+        sherlock, corpus.registry, corpus.train, SherlockTrainConfig(epochs=30)
+    )
+
+    def sherlock_detect(values: list[str]) -> list[str]:
+        features = sherlock_features(values)
+        with nn.no_grad():
+            logits = sherlock(nn.Tensor(features[None, :])).data[0]
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        return corpus.registry.vector_to_labels(probs, threshold=0.5)
+
+    precision, recall, f1 = _column_level_eval(
+        sherlock_detect, corpus.test, ground_truth
+    )
+    rows.append(BaselineRow("sherlock", precision, recall, f1, True))
+
+    # TASTE (cached model) for reference.
+    model, featurizer = get_taste_model(corpus, scale)
+    report = TasteDetector(
+        model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+    ).detect(make_server(corpus.test))
+    prf = micro_prf(report.predicted_labels(), ground_truth)
+    rows.append(BaselineRow("taste", prf.precision, prf.recall, prf.f1, True))
+    return ExtraBaselinesResult(rows)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

@@ -1,0 +1,128 @@
+"""Fig. 4 — end-to-end execution time of every approach and TASTE variant.
+
+Timing runs use the paper-like cost model with real (scaled) sleeps so the
+pipelined executor's I/O/compute overlap is genuinely measured. Each
+approach is run ``scale.timing_runs`` times; mean and stdev are reported,
+like the paper's ten-run bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import BaselineDetector
+from ..core import TasteDetector, ThresholdPolicy
+from ..metrics import RunTiming, render_table
+from .common import (
+    Scale,
+    get_baseline_model,
+    get_corpus,
+    get_scale,
+    get_taste_model,
+    make_server,
+    paper_cost_model,
+)
+
+__all__ = ["Fig4Result", "VARIANTS", "run", "render"]
+
+VARIANTS = (
+    "turl",
+    "doduo",
+    "taste",
+    "taste_hist",
+    "taste_no_pipeline",
+    "taste_no_cache",
+    "taste_sampling",
+)
+
+_LABELS = {
+    "turl": "TURL",
+    "doduo": "Doduo",
+    "taste": "TASTE",
+    "taste_hist": "TASTE w/ histogram",
+    "taste_no_pipeline": "TASTE w/o pipelining",
+    "taste_no_cache": "TASTE w/o caching",
+    "taste_sampling": "TASTE w/ sampling",
+}
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    corpus: str
+    variant: str
+    timing: RunTiming
+    simulated_io_seconds: float
+
+
+@dataclass
+class Fig4Result:
+    rows: list[TimingRow]
+
+    def get(self, corpus: str, variant: str) -> TimingRow:
+        for row in self.rows:
+            if row.corpus == corpus and row.variant == variant:
+                return row
+        raise KeyError((corpus, variant))
+
+    def render(self) -> str:
+        blocks = []
+        for corpus in ("wikitable", "gittables"):
+            rows = [
+                [
+                    _LABELS[row.variant],
+                    f"{row.timing.mean_seconds:.3f}",
+                    f"{row.timing.stdev_seconds:.3f}",
+                    f"{row.simulated_io_seconds:.3f}",
+                ]
+                for row in self.rows
+                if row.corpus == corpus
+            ]
+            blocks.append(
+                render_table(
+                    ["Approach", "mean time (s)", "stdev (s)", "sim. I/O (s)"],
+                    rows,
+                    title=f"Fig. 4: end-to-end execution time ({corpus})",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _run_variant(variant: str, corpus, scale: Scale) -> TimingRow:
+    use_histogram = variant == "taste_hist"
+    samples = []
+    io_seconds = 0.0
+    for _ in range(scale.timing_runs):
+        server = make_server(
+            corpus.test, paper_cost_model(time_scale=1.0), analyze=use_histogram
+        )
+        if variant in ("turl", "doduo"):
+            model, featurizer = get_baseline_model(corpus, scale, variant)
+            detector = BaselineDetector(model, featurizer)
+        else:
+            model, featurizer = get_taste_model(corpus, scale, use_histogram)
+            detector = TasteDetector(
+                model,
+                featurizer,
+                ThresholdPolicy(0.1, 0.9),
+                caching=variant != "taste_no_cache",
+                pipelined=variant != "taste_no_pipeline",
+                scan_method="sample" if variant == "taste_sampling" else "first",
+            )
+        report = detector.detect(server)
+        samples.append(report.wall_seconds)
+        io_seconds = report.cost["simulated_seconds"]
+    return TimingRow(corpus.name, variant, RunTiming.of(samples), io_seconds)
+
+
+def run(scale: Scale | None = None, variants: tuple[str, ...] = VARIANTS) -> Fig4Result:
+    scale = scale or get_scale()
+    rows = []
+    for corpus_name in ("wikitable", "gittables"):
+        corpus = get_corpus(corpus_name, scale)
+        for variant in variants:
+            rows.append(_run_variant(variant, corpus, scale))
+    return Fig4Result(rows)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

@@ -1,0 +1,62 @@
+"""Fig. 5 — ratio of scanned columns per approach.
+
+Derived from the same detection runs as Table 3 (memoized), since the two
+figures report two views of one experiment in the paper as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import render_table
+from .common import Scale, get_scale
+from .table3_f1 import ApproachResult, evaluate_corpus
+
+__all__ = ["Fig5Result", "run", "render"]
+
+_LABELS = {
+    "turl": "TURL",
+    "doduo": "Doduo",
+    "taste": "TASTE",
+    "taste_hist": "TASTE w/ histogram",
+    "taste_sampling": "TASTE w/ sampling",
+}
+
+
+@dataclass
+class Fig5Result:
+    results: list[ApproachResult]
+
+    def get(self, corpus: str, approach: str) -> float:
+        for result in self.results:
+            if result.corpus == corpus and result.approach == approach:
+                return result.scanned_ratio
+        raise KeyError((corpus, approach))
+
+    def render(self) -> str:
+        rows = []
+        for result in self.results:
+            rows.append(
+                [
+                    result.corpus,
+                    _LABELS[result.approach],
+                    f"{result.scanned_ratio * 100:.1f}%",
+                ]
+            )
+        return render_table(
+            ["Dataset", "Approach", "Scanned columns"],
+            rows,
+            title="Fig. 5: ratio of scanned columns",
+        )
+
+
+def run(scale: Scale | None = None) -> Fig5Result:
+    scale = scale or get_scale()
+    results = []
+    for corpus_name in ("wikitable", "gittables"):
+        results.extend(evaluate_corpus(corpus_name, scale))
+    return Fig5Result(results)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

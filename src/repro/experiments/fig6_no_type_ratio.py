@@ -1,0 +1,79 @@
+"""Fig. 6 — TASTE vs the ratio of columns without any semantic type (η).
+
+Sweeps the retained-type-set size ``k`` (WikiTable-S_k, seed 0, as the
+paper's Sec. 6.6), fine-tuning one model per k, then measures execution
+time, scanned-column ratio and F1 on each tuned dataset. Expected shape:
+time and scan ratio drop as η grows, F1 stays roughly flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import TasteDetector, ThresholdPolicy
+from ..metrics import ground_truth_map, micro_prf, render_table
+from .common import Scale, get_fig6_bundle, get_scale, make_server, paper_cost_model
+
+__all__ = ["Fig6Result", "DEFAULT_KS", "run", "render"]
+
+DEFAULT_KS = (50, 40, 30, 20, 10)
+
+
+@dataclass(frozen=True)
+class EtaRow:
+    k: int
+    eta: float
+    wall_seconds: float
+    scanned_ratio: float
+    f1: float
+
+
+@dataclass
+class Fig6Result:
+    rows: list[EtaRow]
+
+    def render(self) -> str:
+        body = [
+            [
+                row.k,
+                f"{row.eta * 100:.1f}%",
+                f"{row.wall_seconds:.3f}",
+                f"{row.scanned_ratio * 100:.1f}%",
+                f"{row.f1:.4f}",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            ["k", "eta (no-type ratio)", "exec time (s)", "scanned", "F1"],
+            body,
+            title="Fig. 6: performance vs ratio of columns without any type (WikiTable-S_k)",
+        )
+
+
+def run(scale: Scale | None = None, ks: tuple[int, ...] = DEFAULT_KS) -> Fig6Result:
+    scale = scale or get_scale()
+    rows = []
+    for k in ks:
+        bundle = get_fig6_bundle(scale, k)
+        ground_truth = ground_truth_map(bundle.test_tables)
+        server = make_server(bundle.test_tables, paper_cost_model(time_scale=1.0))
+        detector = TasteDetector(
+            bundle.model, bundle.featurizer, ThresholdPolicy(0.1, 0.9)
+        )
+        report = detector.detect(server)
+        prf = micro_prf(report.predicted_labels(), ground_truth)
+        rows.append(
+            EtaRow(
+                k=k,
+                eta=bundle.eta,
+                wall_seconds=report.wall_seconds,
+                scanned_ratio=report.scanned_ratio(),
+                f1=prf.f1,
+            )
+        )
+    rows.sort(key=lambda row: row.eta)
+    return Fig6Result(rows)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

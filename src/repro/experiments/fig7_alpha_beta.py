@@ -1,0 +1,90 @@
+"""Fig. 7 — sensitivity of TASTE to the (α, β) thresholds (WikiTable).
+
+Two sweeps: α varies at fixed β, β varies at fixed α. Reported per point:
+F1 and the ratio of columns *not* scanned (the paper's second axis).
+Expected shape: widening the (α, β) interval raises F1 and lowers the
+not-scanned ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import TasteDetector, ThresholdPolicy
+from ..metrics import ground_truth_map, micro_prf, render_table
+from .common import Scale, get_corpus, get_scale, get_taste_model, make_server
+
+__all__ = ["Fig7Result", "ALPHA_SWEEP", "BETA_SWEEP", "run", "render"]
+
+ALPHA_SWEEP = (0.02, 0.05, 0.1, 0.2, 0.3, 0.5)  # at beta = 0.9
+BETA_SWEEP = (0.5, 0.6, 0.7, 0.8, 0.9, 0.98)  # at alpha = 0.1
+_FIXED_BETA = 0.9
+_FIXED_ALPHA = 0.1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    alpha: float
+    beta: float
+    f1: float
+    not_scanned_ratio: float
+
+
+@dataclass
+class Fig7Result:
+    alpha_points: list[SweepPoint]
+    beta_points: list[SweepPoint]
+
+    def render(self) -> str:
+        def block(points: list[SweepPoint], title: str) -> str:
+            rows = [
+                [
+                    f"{p.alpha:.2f}",
+                    f"{p.beta:.2f}",
+                    f"{p.f1:.4f}",
+                    f"{p.not_scanned_ratio * 100:.1f}%",
+                ]
+                for p in points
+            ]
+            return render_table(["alpha", "beta", "F1", "not scanned"], rows, title=title)
+
+        return "\n\n".join(
+            [
+                block(self.alpha_points, "Fig. 7(a): varying alpha (beta = 0.9, WikiTable)"),
+                block(self.beta_points, "Fig. 7(b): varying beta (alpha = 0.1, WikiTable)"),
+            ]
+        )
+
+
+def _measure(model, featurizer, tables, ground_truth, alpha: float, beta: float) -> SweepPoint:
+    detector = TasteDetector(
+        model, featurizer, ThresholdPolicy(alpha, beta), pipelined=False
+    )
+    report = detector.detect(make_server(tables))
+    prf = micro_prf(report.predicted_labels(), ground_truth)
+    return SweepPoint(alpha, beta, prf.f1, 1.0 - report.scanned_ratio())
+
+
+def run(
+    scale: Scale | None = None,
+    alphas: tuple[float, ...] = ALPHA_SWEEP,
+    betas: tuple[float, ...] = BETA_SWEEP,
+) -> Fig7Result:
+    scale = scale or get_scale()
+    corpus = get_corpus("wikitable", scale)
+    model, featurizer = get_taste_model(corpus, scale)
+    ground_truth = ground_truth_map(corpus.test)
+
+    alpha_points = [
+        _measure(model, featurizer, corpus.test, ground_truth, alpha, _FIXED_BETA)
+        for alpha in alphas
+    ]
+    beta_points = [
+        _measure(model, featurizer, corpus.test, ground_truth, _FIXED_ALPHA, beta)
+        for beta in betas
+    ]
+    return Fig7Result(alpha_points, beta_points)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

@@ -1,0 +1,112 @@
+"""Fig. 8 — impact of the column-split threshold l and cell count n.
+
+(a) fixes n = 10 and varies l over a **wide-table corpus** (10-24 columns;
+the regular corpora never exceed 8 columns, which would make the sweep
+inert). Per the paper: smaller l splits tables into more units, raising
+execution time, and discards cross-column context, lowering F1.
+
+(b) fixes l = 20 and varies n on the standard WikiTable-like corpus:
+larger n raises both execution time and F1.
+
+The trained model is reused across sweep points (these are
+prediction-time parameters; the sequence layout is length-agnostic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core import TasteDetector, ThresholdPolicy
+from ..features import Featurizer
+from ..metrics import ground_truth_map, micro_prf, render_table
+from .common import (
+    Scale,
+    get_corpus,
+    get_scale,
+    get_taste_model,
+    get_wide_corpus,
+    get_wide_taste_model,
+    make_server,
+    paper_cost_model,
+)
+
+__all__ = ["Fig8Result", "L_SWEEP", "N_SWEEP", "run", "render"]
+
+L_SWEEP = (4, 8, 12, 16, 20)  # at n = 10, wide-table corpus
+N_SWEEP = (1, 2, 5, 10, 15)  # at l = 20, standard corpus
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    l_value: int
+    n_value: int
+    wall_seconds: float
+    f1: float
+
+
+@dataclass
+class Fig8Result:
+    l_points: list[SweepPoint]
+    n_points: list[SweepPoint]
+
+    def render(self) -> str:
+        def block(points: list[SweepPoint], title: str) -> str:
+            rows = [
+                [p.l_value, p.n_value, f"{p.wall_seconds:.3f}", f"{p.f1:.4f}"]
+                for p in points
+            ]
+            return render_table(["l", "n", "exec time (s)", "F1"], rows, title=title)
+
+        return "\n\n".join(
+            [
+                block(self.l_points, "Fig. 8(a): varying l (n = 10, wide tables)"),
+                block(self.n_points, "Fig. 8(b): varying n (l = 20, WikiTable)"),
+            ]
+        )
+
+
+def _measure(model, featurizer, tables, ground_truth) -> tuple[float, float]:
+    detector = TasteDetector(model, featurizer, ThresholdPolicy(0.1, 0.9))
+    report = detector.detect(make_server(tables, paper_cost_model(time_scale=1.0)))
+    prf = micro_prf(report.predicted_labels(), ground_truth)
+    return report.wall_seconds, prf.f1
+
+
+def run(
+    scale: Scale | None = None,
+    l_values: tuple[int, ...] = L_SWEEP,
+    n_values: tuple[int, ...] = N_SWEEP,
+) -> Fig8Result:
+    scale = scale or get_scale()
+
+    # (a) l sweep over the wide-table corpus
+    wide_corpus = get_wide_corpus(scale)
+    wide_model, wide_featurizer = get_wide_taste_model(scale)
+    wide_truth = ground_truth_map(wide_corpus.test)
+    l_points = []
+    for l_value in l_values:
+        config = replace(wide_featurizer.config, column_split_threshold=l_value)
+        sweep_featurizer = Featurizer(
+            wide_featurizer.tokenizer, wide_featurizer.registry, config
+        )
+        wall, f1 = _measure(wide_model, sweep_featurizer, wide_corpus.test, wide_truth)
+        l_points.append(SweepPoint(l_value, 10, wall, f1))
+
+    # (b) n sweep over the standard corpus
+    corpus = get_corpus("wikitable", scale)
+    model, featurizer = get_taste_model(corpus, scale)
+    ground_truth = ground_truth_map(corpus.test)
+    n_points = []
+    for n_value in n_values:
+        config = replace(featurizer.config, cells_per_column=n_value)
+        sweep_featurizer = Featurizer(featurizer.tokenizer, featurizer.registry, config)
+        wall, f1 = _measure(model, sweep_featurizer, corpus.test, ground_truth)
+        n_points.append(
+            SweepPoint(featurizer.config.column_split_threshold, n_value, wall, f1)
+        )
+
+    return Fig8Result(l_points, n_points)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

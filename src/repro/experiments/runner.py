@@ -1,0 +1,80 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    taste-repro all                 # every experiment, default scale
+    taste-repro table3 fig5        # specific experiments
+    taste-repro fig4 --scale small # faster profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablation_awl,
+    ablation_pretrain,
+    extra_baselines,
+    fig4_execution_time,
+    fig5_scanned_ratio,
+    fig6_no_type_ratio,
+    fig7_alpha_beta,
+    fig8_l_n,
+    table2_datasets,
+    table3_f1,
+    table4_metadata_only,
+)
+from .common import get_scale
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "table2": table2_datasets,
+    "table3": table3_f1,
+    "table4": table4_metadata_only,
+    "fig4": fig4_execution_time,
+    "fig5": fig5_scanned_ratio,
+    "fig6": fig6_no_type_ratio,
+    "fig7": fig7_alpha_beta,
+    "fig8": fig8_l_n,
+    "ablation_awl": ablation_awl,
+    "extra_baselines": extra_baselines,
+    "ablation_pretrain": ablation_pretrain,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="taste-repro",
+        description="Regenerate the TASTE paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="size profile: 'default' or 'small' (or set REPRO_SCALE)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; have {sorted(EXPERIMENTS)}")
+
+    scale = get_scale(args.scale)
+    for name in names:
+        started = time.perf_counter()
+        print(f"=== {name} (scale={scale.name}) ===")
+        print(EXPERIMENTS[name].render(scale))
+        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Table 2 — summary of the (synthetic stand-in) datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import render_table
+from .common import Scale, get_corpus, get_scale
+
+__all__ = ["Table2Result", "run", "render"]
+
+
+@dataclass
+class Table2Result:
+    rows: list[list[object]]
+
+    def render(self) -> str:
+        return render_table(
+            ["Dataset", "# tables", "# cols", "# types", "% col w/o types"],
+            self.rows,
+            title="Table 2: Summary of the datasets (synthetic stand-ins)",
+        )
+
+
+def run(scale: Scale | None = None) -> Table2Result:
+    scale = scale or get_scale()
+    rows: list[list[object]] = []
+    for corpus_name in ("wikitable", "gittables"):
+        corpus = get_corpus(corpus_name, scale)
+        for split in (None, "train", "validation", "test"):
+            stats = corpus.stats(split)
+            label = corpus_name if split is None else f"- {split}"
+            rows.append(
+                [
+                    label,
+                    stats.num_tables,
+                    stats.num_columns,
+                    stats.num_types,
+                    f"{stats.no_type_ratio * 100:.2f}%",
+                ]
+            )
+    return Table2Result(rows)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

@@ -1,0 +1,96 @@
+"""Table 4 — F1 under the strict data-privacy setting (metadata only).
+
+TURL/Doduo get empty content at inference; TASTE disables Phase 2 by
+setting α = β = 0.5. The paper's headline: the baselines collapse on
+WikiTable while TASTE w/o P2 stays close to full TASTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import BaselineDetector
+from ..core import TasteDetector, ThresholdPolicy
+from ..metrics import ground_truth_map, micro_prf, render_table
+from .common import (
+    Scale,
+    get_baseline_model,
+    get_corpus,
+    get_scale,
+    get_taste_model,
+    make_server,
+)
+
+__all__ = ["Table4Result", "run", "render"]
+
+_LABELS = {
+    "turl": "TURL w/o content",
+    "doduo": "Doduo w/o content",
+    "taste": "TASTE w/o P2",
+}
+
+
+@dataclass(frozen=True)
+class PrivacyResult:
+    corpus: str
+    approach: str
+    precision: float
+    recall: float
+    f1: float
+
+
+@dataclass
+class Table4Result:
+    results: list[PrivacyResult]
+
+    def get(self, corpus: str, approach: str) -> PrivacyResult:
+        for result in self.results:
+            if result.corpus == corpus and result.approach == approach:
+                return result
+        raise KeyError((corpus, approach))
+
+    def render(self) -> str:
+        blocks = []
+        for corpus in ("wikitable", "gittables"):
+            rows = [
+                [_LABELS[r.approach], f"{r.precision:.4f}", f"{r.recall:.4f}", f"{r.f1:.4f}"]
+                for r in self.results
+                if r.corpus == corpus
+            ]
+            blocks.append(
+                render_table(
+                    ["Model", "Precision", "Recall", "F1"],
+                    rows,
+                    title=f"Table 4 ({corpus} dataset, metadata only)",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(scale: Scale | None = None) -> Table4Result:
+    scale = scale or get_scale()
+    results = []
+    for corpus_name in ("wikitable", "gittables"):
+        corpus = get_corpus(corpus_name, scale)
+        ground_truth = ground_truth_map(corpus.test)
+
+        for approach in ("turl", "doduo", "taste"):
+            if approach == "taste":
+                model, featurizer = get_taste_model(corpus, scale)
+                detector = TasteDetector(
+                    model, featurizer, ThresholdPolicy.privacy_mode(), pipelined=False
+                )
+                report = detector.detect(make_server(corpus.test))
+            else:
+                model, featurizer = get_baseline_model(corpus, scale, approach)
+                detector = BaselineDetector(model, featurizer, with_content=False)
+                report = detector.detect(make_server(corpus.test))
+            prf = micro_prf(report.predicted_labels(), ground_truth)
+            results.append(
+                PrivacyResult(corpus_name, approach, prf.precision, prf.recall, prf.f1)
+            )
+    return Table4Result(results)
+
+
+def render(scale: Scale | None = None) -> str:
+    return run(scale).render()

@@ -1,0 +1,39 @@
+"""Featurization: metadata/content token streams and numeric features."""
+
+from .content_features import ContentTokens, first_non_empty, tokenize_content
+from .encoding import (
+    Batch,
+    EncodedTable,
+    FeatureConfig,
+    Featurizer,
+    collate,
+    corpus_texts,
+    offline_metadata,
+    split_metadata,
+)
+from .metadata_features import (
+    NUMERIC_FEATURE_DIM,
+    RAW_TYPES,
+    MetadataTokens,
+    numeric_features,
+    tokenize_metadata,
+)
+
+__all__ = [
+    "FeatureConfig",
+    "Featurizer",
+    "EncodedTable",
+    "Batch",
+    "collate",
+    "corpus_texts",
+    "offline_metadata",
+    "split_metadata",
+    "MetadataTokens",
+    "ContentTokens",
+    "tokenize_metadata",
+    "tokenize_content",
+    "first_non_empty",
+    "numeric_features",
+    "NUMERIC_FEATURE_DIM",
+    "RAW_TYPES",
+]

@@ -1,0 +1,104 @@
+"""Featurization of column content (``D^c``).
+
+Cell values are tokenized with punctuation retained (value *format* is the
+signal that separates, e.g., phone numbers from card numbers) and laid out
+per column behind a ``[VAL]`` marker, whose latent vector serves as the
+column's content representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..text.tokenizer import Tokenizer
+from .metadata_features import SEGMENT_CONTENT
+
+__all__ = ["ContentTokens", "tokenize_content", "first_non_empty"]
+
+
+@dataclass
+class ContentTokens:
+    """Tokenized content for (a subset of) a table's columns.
+
+    ``val_positions`` has one entry per *table* column; ``-1`` marks columns
+    whose content was not fetched (either resolved in Phase 1 or withheld by
+    the tenant).
+    """
+
+    token_ids: np.ndarray  # (seq,)
+    segment_ids: np.ndarray  # (seq,)
+    column_ids: np.ndarray  # (seq,) 1-based table column index
+    val_positions: np.ndarray  # (num_table_columns,)
+
+
+def first_non_empty(values: list[str], n: int) -> list[str]:
+    """The first ``n`` non-empty values (paper Sec. 6.1.2 scan rule)."""
+    out = []
+    for value in values:
+        if value:
+            out.append(value)
+            if len(out) == n:
+                break
+    return out
+
+
+def tokenize_content(
+    values_by_column: dict[int, list[str]],
+    num_table_columns: int,
+    tokenizer: Tokenizer,
+    cells_per_column: int = 10,
+    cell_token_budget: int = 4,
+    max_tokens_per_column: int = 32,
+) -> ContentTokens:
+    """Build the content tower's input for the fetched columns.
+
+    Parameters
+    ----------
+    values_by_column:
+        Map from 0-based table column index to that column's raw values
+        (already limited to the scanned ``m`` rows).
+    num_table_columns:
+        Total columns in the table, for sizing ``val_positions``.
+    cells_per_column:
+        The paper's ``n`` — number of non-empty cells used per column.
+    cell_token_budget:
+        Token cap per individual cell value.
+    max_tokens_per_column:
+        Hard cap on a column's content segment (sequence length guard).
+    """
+    vocab = tokenizer.vocab
+    ids: list[int] = []
+    segments: list[int] = []
+    column_ids: list[int] = []
+    val_positions = np.full(num_table_columns, -1, dtype=np.int64)
+
+    for col_index in sorted(values_by_column):
+        if not 0 <= col_index < num_table_columns:
+            raise IndexError(
+                f"column index {col_index} out of range 0..{num_table_columns - 1}"
+            )
+        val_positions[col_index] = len(ids)
+        ids.append(vocab.val_id)
+        segments.append(SEGMENT_CONTENT)
+        column_ids.append(col_index + 1)
+
+        budget = max_tokens_per_column - 1
+        for cell in first_non_empty(values_by_column[col_index], cells_per_column):
+            cell_ids = tokenizer.encode(cell, max_len=cell_token_budget, keep_punct=True)
+            cell_ids = cell_ids[: max(budget, 0)]
+            for token_id in cell_ids:
+                ids.append(token_id)
+                segments.append(SEGMENT_CONTENT)
+                column_ids.append(col_index + 1)
+            budget -= len(cell_ids)
+            if budget <= 0:
+                break
+
+    return ContentTokens(
+        token_ids=np.asarray(ids, dtype=np.int64),
+        segment_ids=np.asarray(segments, dtype=np.int64),
+        column_ids=np.asarray(column_ids, dtype=np.int64),
+        val_positions=val_positions,
+    )

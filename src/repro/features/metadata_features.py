@@ -1,0 +1,129 @@
+"""Featurization of column metadata.
+
+Textual metadata (``M_t``: table name/comment, column names/comments)
+becomes a token sequence consumed by the metadata tower; non-textual
+metadata (``M_n``: data type, statistics, histogram) becomes a fixed-size
+numeric vector concatenated to the classifier input (paper Sec. 4.1, 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.schema import ColumnMetadata, TableMetadata
+from ..text.tokenizer import Tokenizer
+
+__all__ = [
+    "MetadataTokens",
+    "NUMERIC_FEATURE_DIM",
+    "RAW_TYPES",
+    "tokenize_metadata",
+    "numeric_features",
+]
+
+RAW_TYPES = ("int", "float", "varchar", "date", "bool")
+
+# Layout of the M_n vector:
+#   raw-type one-hot (5) | stats (5) | histogram block (12)
+_STATS_DIM = 5
+_HIST_DIM = 12
+NUMERIC_FEATURE_DIM = len(RAW_TYPES) + _STATS_DIM + _HIST_DIM
+
+SEGMENT_TABLE = 0
+SEGMENT_COLUMN = 1
+SEGMENT_CONTENT = 2
+
+
+@dataclass
+class MetadataTokens:
+    """Tokenized metadata for one table.
+
+    ``col_positions[c]`` is the index of column ``c``'s ``[COL]`` marker;
+    the latent vector at that position is the column's metadata
+    representation (the analogue of a per-column ``[CLS]``).
+    """
+
+    token_ids: np.ndarray  # (seq,)
+    segment_ids: np.ndarray  # (seq,) SEGMENT_TABLE / SEGMENT_COLUMN
+    column_ids: np.ndarray  # (seq,) 0 for table tokens, 1-based per column
+    col_positions: np.ndarray  # (num_columns,)
+
+
+def tokenize_metadata(
+    table: TableMetadata,
+    tokenizer: Tokenizer,
+    table_token_budget: int = 16,
+    column_token_budget: int = 8,
+) -> MetadataTokens:
+    """Build the metadata tower's input sequence for one table.
+
+    Sequence layout (scaled version of the paper's 150-token table segment
+    and 10-token column segments)::
+
+        [CLS] <table name+comment tokens>  [COL] <col1 tokens>  [COL] <col2 tokens> ...
+    """
+    vocab = tokenizer.vocab
+    ids: list[int] = [vocab.cls_id]
+    segments: list[int] = [SEGMENT_TABLE]
+    column_ids: list[int] = [0]
+
+    table_text = f"{table.name} {table.comment}".strip()
+    for token_id in tokenizer.encode(table_text, max_len=table_token_budget - 1):
+        ids.append(token_id)
+        segments.append(SEGMENT_TABLE)
+        column_ids.append(0)
+
+    col_positions = []
+    for index, column in enumerate(table.columns):
+        col_positions.append(len(ids))
+        ids.append(vocab.col_id)
+        segments.append(SEGMENT_COLUMN)
+        column_ids.append(index + 1)
+        column_text = f"{column.column_name} {column.column_comment}".strip()
+        for token_id in tokenizer.encode(column_text, max_len=column_token_budget - 1):
+            ids.append(token_id)
+            segments.append(SEGMENT_COLUMN)
+            column_ids.append(index + 1)
+
+    return MetadataTokens(
+        token_ids=np.asarray(ids, dtype=np.int64),
+        segment_ids=np.asarray(segments, dtype=np.int64),
+        column_ids=np.asarray(column_ids, dtype=np.int64),
+        col_positions=np.asarray(col_positions, dtype=np.int64),
+    )
+
+
+def numeric_features(column: ColumnMetadata, use_histogram: bool) -> np.ndarray:
+    """The ``M_n`` vector for one column.
+
+    All entries are roughly unit-scale. The histogram block is zeroed when
+    histograms are unavailable or disabled, so the same model weights serve
+    both the default and the "with histogram" variants of TASTE.
+    """
+    vector = np.zeros(NUMERIC_FEATURE_DIM, dtype=np.float32)
+
+    if column.data_type in RAW_TYPES:
+        vector[RAW_TYPES.index(column.data_type)] = 1.0
+
+    base = len(RAW_TYPES)
+    rows = max(column.num_rows, 1)
+    vector[base + 0] = np.log1p(column.num_rows) / 10.0
+    vector[base + 1] = column.null_fraction
+    vector[base + 2] = min(column.num_distinct / rows, 1.0)
+    vector[base + 3] = min(column.avg_length / 32.0, 1.0)
+    vector[base + 4] = min(column.max_length / 64.0, 1.0)
+
+    histogram = column.histogram
+    if use_histogram and histogram is not None and histogram.num_buckets > 0:
+        hist_base = base + _STATS_DIM
+        vector[hist_base + 0] = 1.0  # available
+        vector[hist_base + 1] = 1.0 if histogram.is_numeric else 0.0
+        vector[hist_base + 2] = 1.0 if histogram.kind == "equal_height" else 0.0
+        fractions = np.asarray(histogram.fractions, dtype=np.float32)
+        count = min(len(fractions), 8)
+        vector[hist_base + 3 : hist_base + 3 + count] = fractions[:count]
+        span = histogram.max_value - histogram.min_value
+        vector[hist_base + 11] = np.log1p(abs(span)) / 10.0
+    return vector

@@ -1,0 +1,19 @@
+"""Evaluation metrics: F1, execution time, scanned-column ratio."""
+
+from .calibration import CalibrationReport, ReliabilityBin, calibration_report
+from .classification import PRF, confusion_counts, micro_prf
+from .report import render_table
+from .runtime import RunTiming, ground_truth_map, measure_runs
+
+__all__ = [
+    "PRF",
+    "CalibrationReport",
+    "ReliabilityBin",
+    "calibration_report",
+    "micro_prf",
+    "confusion_counts",
+    "RunTiming",
+    "measure_runs",
+    "ground_truth_map",
+    "render_table",
+]

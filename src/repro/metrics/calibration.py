@@ -1,0 +1,90 @@
+"""Probability calibration metrics for Phase-1 outputs.
+
+TASTE's (α, β) mechanism assumes the metadata model's probabilities are
+*calibrated*: mid probabilities should really mean "could go either way",
+or uncertain columns will be mis-routed. Expected Calibration Error (ECE)
+and the reliability curve quantify that assumption; the analysis bench uses
+them to sanity-check the Phase-1 model behind Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityBin", "CalibrationReport", "calibration_report"]
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of the reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    empirical_accuracy: float
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """ECE plus the underlying reliability bins."""
+
+    expected_calibration_error: float
+    max_calibration_error: float
+    bins: tuple[ReliabilityBin, ...]
+    num_predictions: int
+
+
+def calibration_report(
+    probabilities: np.ndarray,
+    outcomes: np.ndarray,
+    num_bins: int = 10,
+) -> CalibrationReport:
+    """Compute ECE over flat arrays of probabilities and 0/1 outcomes.
+
+    Parameters
+    ----------
+    probabilities:
+        Predicted probabilities for individual (column, type) decisions.
+    outcomes:
+        Matching 0/1 ground truth.
+    num_bins:
+        Equal-width confidence bins over [0, 1].
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    outcomes = np.asarray(outcomes, dtype=np.float64).reshape(-1)
+    if probabilities.shape != outcomes.shape:
+        raise ValueError(
+            f"shape mismatch: {probabilities.shape} vs {outcomes.shape}"
+        )
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    total = len(probabilities)
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: list[ReliabilityBin] = []
+    ece = 0.0
+    mce = 0.0
+    for lower, upper in zip(edges[:-1], edges[1:]):
+        if upper == 1.0:
+            members = (probabilities >= lower) & (probabilities <= upper)
+        else:
+            members = (probabilities >= lower) & (probabilities < upper)
+        count = int(members.sum())
+        if count:
+            confidence = float(probabilities[members].mean())
+            accuracy = float(outcomes[members].mean())
+            gap = abs(confidence - accuracy)
+            ece += (count / total) * gap
+            mce = max(mce, gap)
+        else:
+            confidence = accuracy = 0.0
+        bins.append(ReliabilityBin(float(lower), float(upper), count, confidence, accuracy))
+    return CalibrationReport(
+        expected_calibration_error=float(ece),
+        max_calibration_error=float(mce),
+        bins=tuple(bins),
+        num_predictions=total,
+    )

@@ -1,0 +1,60 @@
+"""Multi-label classification metrics (micro precision / recall / F1).
+
+Follows the paper's evaluation convention: predictions and ground truth are
+sets of semantic types per column; the background ``type: null`` is not
+counted as a type (an empty prediction for an untyped column is simply
+neither a false positive nor a false negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PRF", "micro_prf", "confusion_counts"]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 with the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+
+def confusion_counts(
+    predictions: dict[tuple[str, str], list[str]],
+    ground_truth: dict[tuple[str, str], list[str]],
+) -> tuple[int, int, int]:
+    """Micro-level TP/FP/FN over ``{(table, column): [types]}`` maps.
+
+    Every key of ``ground_truth`` is evaluated; missing predictions count as
+    empty. Extra predicted keys are ignored (they have no ground truth).
+    """
+    tp = fp = fn = 0
+    for key, truth in ground_truth.items():
+        predicted = set(predictions.get(key, []))
+        actual = set(truth)
+        tp += len(predicted & actual)
+        fp += len(predicted - actual)
+        fn += len(actual - predicted)
+    return tp, fp, fn
+
+
+def micro_prf(
+    predictions: dict[tuple[str, str], list[str]],
+    ground_truth: dict[tuple[str, str], list[str]],
+) -> PRF:
+    """Micro-averaged precision/recall/F1 over all (column, type) decisions."""
+    tp, fp, fn = confusion_counts(predictions, ground_truth)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return PRF(precision, recall, f1, tp, fp, fn)

@@ -1,0 +1,22 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Render an aligned monospace table (the harness's output format)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)

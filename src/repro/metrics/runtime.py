@@ -1,0 +1,47 @@
+"""Runtime and intrusiveness metrics (paper Sec. 6.2).
+
+* **Execution time** — end-to-end wall time of a detection run, including
+  connection handling, metadata fetches, content scans and inference.
+* **Ratio of scanned columns** — columns whose content was retrieved over
+  all columns in the test set.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["RunTiming", "measure_runs", "ground_truth_map"]
+
+
+@dataclass(frozen=True)
+class RunTiming:
+    """Mean/stdev execution time over repeated runs."""
+
+    mean_seconds: float
+    stdev_seconds: float
+    runs: int
+
+    @staticmethod
+    def of(samples: list[float]) -> "RunTiming":
+        if not samples:
+            raise ValueError("no timing samples")
+        stdev = statistics.stdev(samples) if len(samples) > 1 else 0.0
+        return RunTiming(statistics.mean(samples), stdev, len(samples))
+
+
+def measure_runs(run: Callable[[], float], repeats: int = 3) -> RunTiming:
+    """Invoke ``run`` (returning seconds) ``repeats`` times and aggregate."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return RunTiming.of([run() for _ in range(repeats)])
+
+
+def ground_truth_map(tables) -> dict[tuple[str, str], list[str]]:
+    """``{(table, column): true types}`` from datagen tables."""
+    return {
+        (table.name, column.name): list(column.types)
+        for table in tables
+        for column in table.columns
+    }

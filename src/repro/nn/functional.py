@@ -1,0 +1,145 @@
+"""Fused functional operations for the autograd engine.
+
+These composite operations (softmax, layer normalization, GELU, embedding
+lookup, dropout) get hand-written backward rules rather than being composed
+from :class:`~repro.nn.tensor.Tensor` primitives; this keeps the graphs built
+for Transformer encoders small and fast, which matters on CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "gelu",
+    "embedding_lookup",
+    "dropout",
+    "additive_attention_mask",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        # d softmax = s * (grad - sum(grad * s))
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - inner), own=True)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True), own=True)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with affine transform."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mean
+    var = (centered**2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = centered * inv_std
+    out_data = normalized * weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate((grad * normalized).reshape(-1, x.data.shape[-1]).sum(axis=0), own=True)
+        if bias.requires_grad:
+            bias._accumulate(grad.reshape(-1, x.data.shape[-1]).sum(axis=0), own=True)
+        if x.requires_grad:
+            n = x.data.shape[-1]
+            grad_norm = grad * weight.data
+            grad_var = (grad_norm * centered).sum(axis=-1, keepdims=True) * (-0.5) * inv_std**3
+            grad_mean = (-grad_norm * inv_std).sum(axis=-1, keepdims=True) + grad_var * (
+                -2.0 * centered.mean(axis=-1, keepdims=True)
+            )
+            x._accumulate(grad_norm * inv_std + grad_var * 2.0 * centered / n + grad_mean / n, own=True)
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+_GELU_COEFF = np.sqrt(2.0 / np.pi).astype(np.float32)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit, tanh approximation (as in BERT)."""
+    cubed = x.data**3
+    inner = _GELU_COEFF * (x.data + 0.044715 * cubed)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = _GELU_COEFF * (1.0 + 3 * 0.044715 * x.data**2)
+        x._accumulate(grad * (0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner), own=True)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by integer ``indices``.
+
+    Backward scatters gradients back into the embedding matrix with
+    ``np.add.at`` so repeated indices accumulate correctly.
+    """
+    indices = np.asarray(indices)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+        weight._accumulate(full, own=True)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: active only in training mode."""
+    if not training or p <= 0.0 or not is_grad_enabled():
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.data.shape) < keep).astype(x.data.dtype) / keep
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask, own=True)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def additive_attention_mask(key_padding: np.ndarray) -> np.ndarray:
+    """Build an additive attention mask from a boolean padding matrix.
+
+    Parameters
+    ----------
+    key_padding:
+        Boolean array of shape ``(batch, seq)`` where ``True`` marks *real*
+        tokens and ``False`` marks padding.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float array of shape ``(batch, 1, 1, seq)`` with ``0`` for real
+        tokens and a large negative value for padding, ready to be added to
+        raw attention scores before softmax.
+    """
+    mask = np.where(key_padding, 0.0, -1e9).astype(np.float32)
+    return mask[:, None, None, :]

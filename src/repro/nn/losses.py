@@ -1,0 +1,117 @@
+"""Loss functions used by the TASTE models.
+
+Includes the multi-label binary cross-entropy of paper Sec. 4.3 and the
+automatic weighted multi-task loss of Sec. 4.4:
+
+    L_ADTD = sum_i  L_i / (2 w_i^2) + ln(1 + w_i^2)
+
+with learnable positive weights ``w``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "bce_with_logits",
+    "masked_cross_entropy",
+    "AutomaticWeightedLoss",
+]
+
+
+def bce_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> Tensor:
+    """Numerically-stable multi-label binary cross-entropy from logits.
+
+    Uses the identity ``BCE(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+
+    Parameters
+    ----------
+    logits:
+        Raw scores of shape ``(..., num_types)``.
+    targets:
+        Binary ground-truth array broadcastable to ``logits``.
+    mask:
+        Optional 0/1 array marking which rows contribute (e.g. real columns
+        vs padding columns in a batched table); broadcast against ``logits``.
+
+    Returns
+    -------
+    Tensor
+        Scalar mean loss over unmasked elements.
+    """
+    targets = np.asarray(targets, dtype=np.float32)
+    x = logits.data
+    max_part = np.maximum(x, 0.0)
+    log_part = np.log1p(np.exp(-np.abs(x)))
+    loss_data = max_part - x * targets + log_part
+
+    sigmoid = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+    grad_local = sigmoid - targets
+
+    if mask is not None:
+        mask = np.broadcast_to(np.asarray(mask, dtype=np.float32), loss_data.shape)
+        denom = float(mask.sum()) or 1.0
+        loss_value = float((loss_data * mask).sum() / denom)
+        grad_local = grad_local * mask / denom
+    else:
+        denom = float(loss_data.size)
+        loss_value = float(loss_data.sum() / denom)
+        grad_local = grad_local / denom
+
+    def backward(grad: np.ndarray) -> None:
+        logits._accumulate(grad * grad_local, own=True)
+
+    return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+
+
+def masked_cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray) -> Tensor:
+    """Cross-entropy over masked positions (for Masked Language Modeling).
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(batch, seq, vocab)``.
+    targets:
+        Integer ids of shape ``(batch, seq)``; only read where ``mask`` is 1.
+    mask:
+        0/1 array of shape ``(batch, seq)`` marking prediction positions.
+    """
+    targets = np.asarray(targets)
+    mask = np.asarray(mask, dtype=np.float32)
+    log_probs = F.log_softmax(logits, axis=-1)
+    batch, seq, _ = logits.shape
+    rows = np.arange(batch)[:, None]
+    cols = np.arange(seq)[None, :]
+    picked = log_probs[rows, cols, targets]  # (batch, seq) via Tensor.__getitem__
+    denom = float(mask.sum()) or 1.0
+    return (picked * Tensor(-mask)).sum() * (1.0 / denom)
+
+
+class AutomaticWeightedLoss(Module):
+    """Learnable uncertainty weighting for multi-task losses (Sec. 4.4)."""
+
+    def __init__(self, num_tasks: int = 2) -> None:
+        super().__init__()
+        self.weights = Parameter(np.ones(num_tasks, dtype=np.float32))
+
+    def forward(self, losses: list[Tensor]) -> Tensor:
+        if len(losses) != self.weights.size:
+            raise ValueError(
+                f"expected {self.weights.size} task losses, got {len(losses)}"
+            )
+        total: Tensor | None = None
+        for index, loss in enumerate(losses):
+            w_i = self.weights[index]
+            w_sq = w_i * w_i
+            term = loss / (w_sq * 2.0) + (w_sq + 1.0).log()
+            total = term if total is None else total + term
+        assert total is not None
+        return total

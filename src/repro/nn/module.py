@@ -1,0 +1,129 @@
+"""Parameter and Module abstractions for the numpy NN stack."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable model parameter."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural network modules.
+
+    Provides recursive parameter discovery, train/eval mode switching,
+    gradient zeroing and flat ``state_dict`` (de)serialization. Submodules
+    and parameters are discovered from instance attributes, so assignment is
+    all that is needed to register them.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            if name == "training":
+                continue
+            full_name = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in this module tree."""
+        return sum(param.size for param in self.parameters())
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+
+    # ------------------------------------------------------------------
+    # Mode and gradients
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"checkpoint {value.shape} vs model {param.data.shape}"
+                )
+            param.data = value.astype(param.data.dtype)
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """An indexable container of submodules discovered by name."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        setattr(self, f"item_{len(self._items)}", module)
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

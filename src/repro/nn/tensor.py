@@ -1,0 +1,448 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the ``repro.nn`` deep learning stack. It
+provides a :class:`Tensor` type that records the computation graph as
+operations are applied and can backpropagate gradients through it.
+
+The design goals, in order, are correctness (gradients are property-tested
+against numeric differentiation), clarity, and enough performance to train
+Transformer encoders of the size used in this reproduction on a single CPU.
+
+Only the operations needed by the TASTE models are implemented; each has a
+hand-written backward rule. Broadcasting follows numpy semantics and
+gradients are "unbroadcast" (summed) back to the operand shapes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_DEFAULT_DTYPE = np.float32
+
+
+class _GradMode(threading.local):
+    """Thread-local autograd switch.
+
+    Thread-local (not global) because the pipelined executor runs inference
+    under ``no_grad`` on several worker threads at once; a shared flag would
+    race on enter/exit and could leave gradient recording disabled.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Mirrors ``torch.no_grad``: operations executed inside the block produce
+    tensors detached from the autograd graph. The switch is per-thread.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _GRAD_MODE.enabled = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_MODE.enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def _as_array(value: "Tensor | np.ndarray | float | int | Sequence") -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float32`` unless already a numpy
+        array of floating dtype.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data: "np.ndarray | float | int | Sequence",
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward_fn: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        if isinstance(data, np.ndarray):
+            if data.dtype != _DEFAULT_DTYPE:
+                data = data.astype(_DEFAULT_DTYPE)
+        else:
+            data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        self.data = data
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad and _GRAD_MODE.enabled
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward_fn = _backward_fn
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a graph node if any parent requires grad, else a leaf."""
+        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
+
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``own=True`` promises the caller allocated ``grad`` freshly and will
+        not reuse it, letting us store it by reference instead of copying —
+        the common case for backward rules that compute ``grad * something``.
+        """
+        reduced = _unbroadcast(grad, self.data.shape)
+        if reduced is not grad:
+            own = True  # unbroadcasting allocated a fresh array
+        if self.grad is None:
+            if own and reduced.dtype == _DEFAULT_DTYPE:
+                self.grad = reduced
+            else:
+                self.grad = reduced.astype(_DEFAULT_DTYPE)  # defensive copy
+        else:
+            self.grad += reduced
+
+    def backward(self, grad: "np.ndarray | Tensor | None" = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor;
+            defaults to ones (valid for scalar losses).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        elif isinstance(grad, Tensor):
+            grad = grad.data
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(np.asarray(grad, dtype=_DEFAULT_DTYPE))
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other_t.requires_grad:
+                other_t._accumulate(grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad, own=True)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other_t.requires_grad:
+                other_t._accumulate(-grad, own=True)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rsub__(self, other: float) -> "Tensor":
+        return Tensor(_as_array(other)) - self
+
+    def __mul__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other_t.data, own=True)
+            if other_t.requires_grad:
+                other_t._accumulate(grad * self.data, own=True)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other_t.data, own=True)
+            if other_t.requires_grad:
+                other_t._accumulate(-grad * self.data / (other_t.data**2), own=True)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: float) -> "Tensor":
+        return Tensor(_as_array(other)) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1), own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2), own=True)
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad, own=True)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, axis1: int, axis2: int) -> "Tensor":
+        out_data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.swapaxes(grad, axis1, axis2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self._accumulate(full, own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if axis is None:
+                self._accumulate(np.broadcast_to(grad, self.data.shape))
+                return
+            if not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data, own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data, own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / out_data, own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2), own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data), own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask, own=True)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def cat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * grad.ndim
+                    index[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(index)])
+
+        return Tensor._make(out_data, tuple(tensors), backward)

@@ -1,0 +1,19 @@
+"""Tokenization substrate: normalization, vocabulary and tokenizer."""
+
+from . import normalize
+from .tokenizer import Tokenizer
+from .vocab import CLS, COL, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, VAL, Vocab
+
+__all__ = [
+    "normalize",
+    "Tokenizer",
+    "Vocab",
+    "SPECIAL_TOKENS",
+    "PAD",
+    "UNK",
+    "CLS",
+    "SEP",
+    "MASK",
+    "COL",
+    "VAL",
+]

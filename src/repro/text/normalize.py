@@ -1,0 +1,76 @@
+"""Text normalization for table metadata and cell values.
+
+Turns raw strings (column names like ``custEmailAddr``, cell values like
+``4111-1111-1111-1111``) into word-level tokens. Identifier conventions
+(snake_case, camelCase, kebab-case) are split, and digit runs are replaced
+by length-bucketed *shape tokens* (``<d4>`` for a 4-digit run) so the models
+see the value's pattern — the signal that distinguishes, say, phone numbers
+from credit card numbers — without a per-digit vocabulary explosion.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["split_identifier", "word_tokens", "digit_shape_token"]
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+_DIGIT_RUN = re.compile(r"\d+")
+_PUNCT_KEPT = set(".-_/@:+(),#")
+
+_MAX_DIGIT_BUCKET = 8
+
+
+def digit_shape_token(run_length: int) -> str:
+    """Return the shape token for a run of ``run_length`` digits."""
+    return f"<d{min(run_length, _MAX_DIGIT_BUCKET)}>"
+
+
+def split_identifier(identifier: str) -> list[str]:
+    """Split an identifier into lowercase word parts.
+
+    Handles snake_case, kebab-case, camelCase and digit boundaries:
+    ``custEmailAddr`` -> ``['cust', 'email', 'addr']``.
+    """
+    identifier = _CAMEL_BOUNDARY.sub(" ", identifier)
+    parts = _NON_ALNUM.split(identifier)
+    words: list[str] = []
+    for part in parts:
+        if not part:
+            continue
+        # split letter/digit boundaries: "top10" -> "top", "10"
+        for piece in re.findall(r"[a-zA-Z]+|\d+", part):
+            words.append(piece.lower())
+    return words
+
+
+def word_tokens(text: str, keep_punct: bool = False) -> list[str]:
+    """Tokenize free text or a cell value into model tokens.
+
+    Digit runs become shape tokens. When ``keep_punct`` is true, individual
+    punctuation characters from a small retained set are emitted as their own
+    tokens, preserving value *format* (e.g. the dashes in an SSN or the ``@``
+    in an email address).
+    """
+    tokens: list[str] = []
+    buffer = ""
+
+    def flush() -> None:
+        nonlocal buffer
+        if buffer:
+            tokens.extend(
+                digit_shape_token(len(piece)) if piece.isdigit() else piece.lower()
+                for piece in re.findall(r"[a-zA-Z]+|\d+", buffer)
+            )
+            buffer = ""
+
+    for char in text:
+        if char.isalnum():
+            buffer += char
+        else:
+            flush()
+            if keep_punct and char in _PUNCT_KEPT:
+                tokens.append(char)
+    flush()
+    return tokens

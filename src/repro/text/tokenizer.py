@@ -1,0 +1,87 @@
+"""WordPiece-style tokenizer over the normalized token stream.
+
+Words absent from the vocabulary are decomposed into character n-gram
+pieces (``##``-prefixed, greedy longest-match), mirroring how the paper's
+TinyBERT tokenizer degrades gracefully on unseen identifiers. The piece
+inventory is built from the same corpus as the word vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from . import normalize
+from .vocab import Vocab
+
+__all__ = ["Tokenizer"]
+
+_MAX_PIECE_LEN = 4
+
+
+def _subword_pieces(word: str) -> list[str]:
+    """Split a word into fixed-size character pieces: ``abcdef`` -> ``ab ##cd ##ef``-ish."""
+    pieces = []
+    for start in range(0, len(word), _MAX_PIECE_LEN):
+        chunk = word[start : start + _MAX_PIECE_LEN]
+        pieces.append(chunk if start == 0 else f"##{chunk}")
+    return pieces
+
+
+class Tokenizer:
+    """Tokenizer that maps raw strings to vocabulary ids.
+
+    Parameters
+    ----------
+    vocab:
+        The vocabulary to encode against; build with :meth:`train`.
+    """
+
+    def __init__(self, vocab: Vocab) -> None:
+        self.vocab = vocab
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def corpus_tokens(text: str, keep_punct: bool = False) -> list[str]:
+        """Tokenize text into words plus their subword fallback pieces.
+
+        Used during vocabulary construction so both whole words and their
+        pieces are candidates for the vocabulary.
+        """
+        words = normalize.word_tokens(text, keep_punct=keep_punct)
+        out: list[str] = []
+        for word in words:
+            out.append(word)
+            if len(word) > _MAX_PIECE_LEN and not word.startswith("<"):
+                out.extend(_subword_pieces(word))
+        return out
+
+    @staticmethod
+    def train(texts: Iterable[str], max_size: int = 4096, min_freq: int = 1) -> "Tokenizer":
+        """Build a tokenizer whose vocabulary covers ``texts``."""
+        streams = (Tokenizer.corpus_tokens(text, keep_punct=True) for text in texts)
+        return Tokenizer(Vocab.build(streams, max_size=max_size, min_freq=min_freq))
+
+    # ------------------------------------------------------------------
+    def tokenize(self, text: str, keep_punct: bool = False) -> list[str]:
+        """Tokenize, falling back to subword pieces for unknown words."""
+        out: list[str] = []
+        for word in normalize.word_tokens(text, keep_punct=keep_punct):
+            if word in self.vocab:
+                out.append(word)
+                continue
+            pieces = _subword_pieces(word)
+            out.extend(piece if piece in self.vocab else piece for piece in pieces)
+        return out
+
+    def encode(self, text: str, max_len: int | None = None, keep_punct: bool = False) -> list[int]:
+        """Encode text to ids, truncating to ``max_len`` tokens if given."""
+        tokens = self.tokenize(text, keep_punct=keep_punct)
+        if max_len is not None:
+            tokens = tokens[:max_len]
+        return [self.vocab.token_to_id(token) for token in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        return [self.vocab.id_to_token(token_id) for token_id in ids]
+
+    def __len__(self) -> int:
+        return len(self.vocab)

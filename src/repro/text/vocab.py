@@ -1,0 +1,121 @@
+"""Token vocabulary with the special tokens used by the TASTE models."""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["Vocab", "SPECIAL_TOKENS", "PAD", "UNK", "CLS", "SEP", "MASK", "COL", "VAL"]
+
+PAD = "[PAD]"
+UNK = "[UNK]"
+CLS = "[CLS]"
+SEP = "[SEP]"
+MASK = "[MASK]"
+COL = "[COL]"  # marks the start of a column's metadata segment
+VAL = "[VAL]"  # marks the start of a column's content segment
+
+SPECIAL_TOKENS = (PAD, UNK, CLS, SEP, MASK, COL, VAL)
+
+
+class Vocab:
+    """Bidirectional token <-> id mapping.
+
+    Ids 0..6 are reserved for the special tokens in :data:`SPECIAL_TOKENS`
+    (in that order), so ``pad_id == 0`` always holds.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK]
+
+    @property
+    def col_id(self) -> int:
+        return self._token_to_id[COL]
+
+    @property
+    def val_id(self) -> int:
+        return self._token_to_id[VAL]
+
+    @property
+    def num_special(self) -> int:
+        return len(SPECIAL_TOKENS)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(
+        token_streams: Iterable[Iterable[str]],
+        max_size: int = 4096,
+        min_freq: int = 1,
+    ) -> "Vocab":
+        """Build a vocabulary from tokenized texts, most frequent first."""
+        counts: Counter[str] = Counter()
+        for stream in token_streams:
+            counts.update(stream)
+        kept = [
+            token
+            for token, freq in counts.most_common()
+            if freq >= min_freq and token not in SPECIAL_TOKENS
+        ]
+        budget = max(max_size - len(SPECIAL_TOKENS), 0)
+        return Vocab(kept[:budget])
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(self._id_to_token), encoding="utf-8")
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "Vocab":
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        if tuple(lines[: len(SPECIAL_TOKENS)]) != SPECIAL_TOKENS:
+            raise ValueError(f"{path}: not a repro vocab file (bad special-token header)")
+        return Vocab(lines[len(SPECIAL_TOKENS):])

@@ -1,0 +1,79 @@
+"""Shared fixtures: tiny corpora, tokenizers and models kept session-scoped
+so the suite stays fast while still exercising real trained behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import ADTDConfig, ADTDModel, TrainConfig, fine_tune
+from repro.datagen import TableGenConfig, default_registry, generate_table, make_wikitable_corpus
+from repro.features import FeatureConfig, Featurizer, corpus_texts
+from repro.text import Tokenizer
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    return make_wikitable_corpus(num_tables=30)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(tiny_corpus):
+    return Tokenizer.train(corpus_texts(tiny_corpus.tables), max_size=1500)
+
+
+@pytest.fixture(scope="session")
+def tiny_encoder(tokenizer):
+    return nn.EncoderConfig(
+        num_layers=1,
+        num_heads=2,
+        hidden_size=32,
+        intermediate_size=64,
+        max_seq_len=512,
+        vocab_size=len(tokenizer),
+        dropout_p=0.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def featurizer(tokenizer, tiny_corpus):
+    return Featurizer(tokenizer, tiny_corpus.registry, FeatureConfig())
+
+
+@pytest.fixture(scope="session")
+def untrained_model(tiny_encoder, tiny_corpus):
+    return ADTDModel(
+        ADTDConfig(tiny_encoder, num_labels=tiny_corpus.registry.num_labels), seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_model(tiny_encoder, tiny_corpus, featurizer):
+    """An ADTD model briefly fine-tuned on the tiny corpus."""
+    model = ADTDModel(
+        ADTDConfig(tiny_encoder, num_labels=tiny_corpus.registry.num_labels), seed=0
+    )
+    fine_tune(
+        model,
+        featurizer,
+        tiny_corpus.train,
+        TrainConfig(epochs=6, batch_size=8, learning_rate=3e-3),
+    )
+    return model
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def sample_table(registry, rng):
+    config = TableGenConfig(min_columns=4, max_columns=6, min_rows=30, max_rows=40)
+    return generate_table(registry, config, rng, table_id=0)

@@ -1,0 +1,73 @@
+"""Tests for multi-head self- and cross-attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+@pytest.fixture()
+def attention(rng):
+    return nn.MultiHeadAttention(hidden_size=8, num_heads=2, dropout_p=0.0, rng=rng)
+
+
+class TestShapes:
+    def test_self_attention_shape(self, attention, rng):
+        x = nn.Tensor(rng.standard_normal((2, 5, 8)).astype(np.float32))
+        assert attention(x, x).shape == (2, 5, 8)
+
+    def test_cross_attention_query_length_preserved(self, attention, rng):
+        q = nn.Tensor(rng.standard_normal((2, 3, 8)).astype(np.float32))
+        kv = nn.Tensor(rng.standard_normal((2, 9, 8)).astype(np.float32))
+        assert attention(q, kv).shape == (2, 3, 8)
+
+    def test_invalid_head_split_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(hidden_size=7, num_heads=2, dropout_p=0.0, rng=rng)
+
+
+class TestMasking:
+    def test_padded_keys_are_ignored(self, attention, rng):
+        """Output must be invariant to values at masked key positions."""
+        kv_a = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        kv_b = kv_a.copy()
+        kv_b[0, 3] = 99.0  # only the masked position differs
+        q = nn.Tensor(rng.standard_normal((1, 2, 8)).astype(np.float32))
+        mask = F.additive_attention_mask(np.array([[True, True, True, False]]))
+        out_a = attention(q, nn.Tensor(kv_a), mask)
+        out_b = attention(q, nn.Tensor(kv_b), mask)
+        assert np.allclose(out_a.data, out_b.data, atol=1e-5)
+
+    def test_unmasked_keys_matter(self, attention, rng):
+        kv_a = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        kv_b = kv_a.copy()
+        kv_b[0, 1] = 99.0
+        q = nn.Tensor(rng.standard_normal((1, 2, 8)).astype(np.float32))
+        out_a = attention(q, nn.Tensor(kv_a))
+        out_b = attention(q, nn.Tensor(kv_b))
+        assert not np.allclose(out_a.data, out_b.data, atol=1e-3)
+
+
+class TestGradients:
+    def test_gradients_reach_all_projections(self, attention, rng):
+        x = nn.Tensor(rng.standard_normal((2, 4, 8)).astype(np.float32), requires_grad=True)
+        attention(x, x).sum().backward()
+        for proj in (
+            attention.query_proj,
+            attention.key_proj,
+            attention.value_proj,
+            attention.output_proj,
+        ):
+            assert proj.weight.grad is not None
+            assert np.abs(proj.weight.grad).sum() > 0
+        assert x.grad is not None
+
+    def test_cross_attention_gradient_reaches_kv(self, attention, rng):
+        q = nn.Tensor(rng.standard_normal((1, 2, 8)).astype(np.float32), requires_grad=True)
+        kv = nn.Tensor(rng.standard_normal((1, 6, 8)).astype(np.float32), requires_grad=True)
+        attention(q, kv).sum().backward()
+        assert np.abs(kv.grad).sum() > 0
+        assert np.abs(q.grad).sum() > 0

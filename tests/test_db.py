@@ -1,0 +1,241 @@
+"""Tests for the simulated cloud database: engine, connection, server, cost."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datagen import TableGenConfig, default_registry, generate_table
+from repro.db import (
+    CloudDatabaseServer,
+    ConnectionClosedError,
+    CostLedger,
+    CostModel,
+    Database,
+    SQLSyntaxError,
+)
+
+FAST = CostModel(time_scale=0.0)
+
+
+@pytest.fixture()
+def tables(registry, rng):
+    config = TableGenConfig(min_columns=4, max_columns=6, min_rows=20, max_rows=30)
+    return [generate_table(registry, config, rng, i) for i in range(4)]
+
+
+@pytest.fixture()
+def server(tables):
+    return CloudDatabaseServer.from_tables(tables, FAST)
+
+
+class TestDatabase:
+    def test_create_and_lookup(self, tables):
+        db = Database.from_tables(tables)
+        assert set(db.table_names()) == {t.name for t in tables}
+        assert tables[0].name in db
+
+    def test_duplicate_table_rejected(self, tables):
+        db = Database.from_tables(tables)
+        with pytest.raises(ValueError):
+            db.create_table(tables[0])
+
+    def test_missing_table_raises(self, tables):
+        db = Database.from_tables(tables)
+        with pytest.raises(KeyError):
+            db.table("ghost")
+
+    def test_total_columns(self, tables):
+        db = Database.from_tables(tables)
+        assert db.total_columns == sum(t.num_columns for t in tables)
+
+    def test_metadata_statistics(self, tables):
+        db = Database.from_tables(tables)
+        metadata = db.metadata(tables[0].name)
+        assert metadata.num_rows == tables[0].num_rows
+        for column_md, column in zip(metadata.columns, tables[0].columns):
+            assert column_md.column_name == column.name
+            assert column_md.data_type == column.raw_type
+            non_empty = [v for v in column.values if v]
+            assert column_md.num_distinct == len(set(non_empty))
+
+    def test_metadata_histogram_only_after_analyze(self, tables):
+        db = Database.from_tables(tables)
+        assert db.metadata(tables[0].name).columns[0].histogram is None
+        db.analyze_table(tables[0].name)
+        assert db.metadata(tables[0].name).columns[0].histogram is not None
+
+    def test_read_rows_limit(self, tables):
+        db = Database.from_tables(tables)
+        rows = db.read_rows(tables[0].name, limit=5)
+        assert len(rows) == 5
+        assert len(rows[0]) == tables[0].num_columns
+
+    def test_read_rows_column_subset(self, tables):
+        db = Database.from_tables(tables)
+        name = tables[0].columns[1].name
+        rows = db.read_rows(tables[0].name, [name], limit=3)
+        assert rows == [(v,) for v in tables[0].columns[1].values[:3]]
+
+    def test_read_rows_sampling_deterministic(self, tables):
+        db = Database.from_tables(tables)
+        a = db.read_rows(tables[0].name, limit=5, sample_seed=7)
+        b = db.read_rows(tables[0].name, limit=5, sample_seed=7)
+        c = db.read_rows(tables[0].name, limit=5, sample_seed=8)
+        assert a == b
+        assert a != c or tables[0].num_rows <= 5
+
+    def test_read_rows_unknown_column(self, tables):
+        db = Database.from_tables(tables)
+        with pytest.raises(KeyError):
+            db.read_rows(tables[0].name, ["ghost"])
+
+
+class TestConnection:
+    def test_fetch_metadata_charges_ledger(self, server, tables):
+        conn = server.connect()
+        conn.fetch_metadata(tables[0].name)
+        assert server.ledger.metadata_requests == 1
+        assert server.ledger.simulated_seconds > 0
+
+    def test_fetch_values_records_scan(self, server, tables):
+        conn = server.connect()
+        names = [c.name for c in tables[0].columns[:2]]
+        values = conn.fetch_values(tables[0].name, names, limit=10)
+        assert set(values) == set(names)
+        assert server.ledger.num_scanned_columns() == 2
+        assert server.ledger.rows_read == 10
+
+    def test_fetch_values_empty_request(self, server, tables):
+        conn = server.connect()
+        assert conn.fetch_values(tables[0].name, []) == {}
+        assert server.ledger.scan_queries == 0
+
+    def test_sampling_costs_more(self, tables):
+        model = CostModel(time_scale=0.0)
+        server_a = CloudDatabaseServer.from_tables(tables, model)
+        server_b = CloudDatabaseServer.from_tables(tables, model)
+        name = tables[0].columns[0].name
+        server_a.connect().fetch_values(tables[0].name, [name], limit=5)
+        server_b.connect().fetch_values(tables[0].name, [name], limit=5, sample_seed=0)
+        assert server_b.ledger.simulated_seconds > server_a.ledger.simulated_seconds
+
+    def test_closed_connection_rejected(self, server, tables):
+        conn = server.connect()
+        conn.close()
+        with pytest.raises(ConnectionClosedError):
+            conn.fetch_metadata(tables[0].name)
+
+    def test_context_manager_closes(self, server, tables):
+        with server.connect() as conn:
+            conn.list_tables()
+        with pytest.raises(ConnectionClosedError):
+            conn.list_tables()
+
+    def test_analyze_does_not_count_as_scan(self, server, tables):
+        conn = server.connect()
+        conn.analyze_table(tables[0].name)
+        assert server.ledger.num_scanned_columns() == 0
+        metadata = conn.fetch_metadata(tables[0].name)
+        assert metadata.columns[0].histogram is not None
+
+
+class TestSQLDialect:
+    def test_show_tables(self, server, tables):
+        rows = server.connect().execute("SHOW TABLES")
+        assert (tables[0].name,) in rows
+
+    def test_select_star_with_limit(self, server, tables):
+        rows = server.connect().execute(f"SELECT * FROM {tables[0].name} LIMIT 4")
+        assert len(rows) == 4
+        assert len(rows[0]) == tables[0].num_columns
+
+    def test_select_columns(self, server, tables):
+        name = tables[0].columns[0].name
+        rows = server.connect().execute(
+            f"SELECT {name} FROM {tables[0].name} LIMIT 2"
+        )
+        assert rows == [(v,) for v in tables[0].columns[0].values[:2]]
+
+    def test_order_by_rand_seed(self, server, tables):
+        conn = server.connect()
+        a = conn.execute(f"SELECT * FROM {tables[0].name} ORDER BY RAND(3) LIMIT 5")
+        b = conn.execute(f"SELECT * FROM {tables[0].name} ORDER BY RAND(3) LIMIT 5")
+        assert a == b
+
+    def test_information_schema_columns_filtered(self, server, tables):
+        rows = server.connect().execute(
+            f"SELECT * FROM information_schema.columns WHERE table_name = '{tables[0].name}'"
+        )
+        assert len(rows) == tables[0].num_columns
+        assert rows[0]["table_name"] == tables[0].name
+
+    def test_information_schema_tables(self, server, tables):
+        rows = server.connect().execute("SELECT * FROM information_schema.tables")
+        assert len(rows) == len(tables)
+
+    def test_analyze_table_statement(self, server, tables):
+        conn = server.connect()
+        conn.execute(f"ANALYZE TABLE {tables[0].name} WITH 4 BUCKETS KIND equal_height")
+        histogram = conn.fetch_metadata(tables[0].name).columns[0].histogram
+        assert histogram.num_buckets == 4
+        assert histogram.kind == "equal_height"
+
+    def test_unsupported_statement(self, server):
+        with pytest.raises(SQLSyntaxError):
+            server.connect().execute("DROP TABLE users")
+
+
+class TestCostLedger:
+    def test_snapshot_and_reset(self, server, tables):
+        conn = server.connect()
+        conn.fetch_values(tables[0].name, [tables[0].columns[0].name], limit=3)
+        snapshot = server.ledger.snapshot()
+        assert snapshot["scanned_columns"] == 1
+        server.reset_ledger()
+        assert server.ledger.snapshot()["scanned_columns"] == 0
+
+    def test_scanned_ratio(self, server, tables):
+        conn = server.connect()
+        conn.fetch_values(tables[0].name, [tables[0].columns[0].name], limit=1)
+        expected = 1 / server.total_columns
+        assert server.scanned_ratio() == pytest.approx(expected)
+
+    def test_scanned_ratio_empty_denominator(self):
+        assert CostLedger().scanned_ratio(0) == 0.0
+
+    def test_duplicate_scans_counted_once(self, server, tables):
+        conn = server.connect()
+        name = tables[0].columns[0].name
+        conn.fetch_values(tables[0].name, [name], limit=1)
+        conn.fetch_values(tables[0].name, [name], limit=1)
+        assert server.ledger.num_scanned_columns() == 1
+
+    def test_thread_safety(self):
+        ledger = CostLedger()
+
+        def worker(start: int) -> None:
+            for i in range(200):
+                ledger.record_scan("t", [f"c{start}_{i}"], 1, 0.001)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ledger.scan_queries == 800
+        assert ledger.num_scanned_columns() == 800
+        assert ledger.simulated_seconds == pytest.approx(0.8)
+
+
+class TestServer:
+    def test_connect_charges_cost(self, server):
+        server.connect()
+        assert server.ledger.connections_opened == 1
+
+    def test_from_tables_analyze_flag(self, tables):
+        server = CloudDatabaseServer.from_tables(tables, FAST, analyze=True)
+        metadata = server.connect().fetch_metadata(tables[0].name)
+        assert metadata.columns[0].histogram is not None

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs end to end (downscaled)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def fast_examples(monkeypatch):
+    monkeypatch.setenv("EXAMPLE_TABLES", "24")
+    monkeypatch.setenv("EXAMPLE_EPOCHS", "2")
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = load_example(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip()  # every example reports something

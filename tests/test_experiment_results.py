@@ -1,0 +1,136 @@
+"""Unit tests for experiment result containers and their rendering.
+
+These exercise the harness's result dataclasses with synthetic numbers —
+no model training — so rendering and lookup logic is covered independently
+of the heavyweight benchmark paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_awl import AblationResult, AblationRow
+from repro.experiments.ablation_pretrain import PretrainAblationResult, PretrainRow
+from repro.experiments.extra_baselines import BaselineRow, ExtraBaselinesResult
+from repro.experiments.fig4_execution_time import Fig4Result, TimingRow
+from repro.experiments.fig5_scanned_ratio import Fig5Result
+from repro.experiments.fig6_no_type_ratio import EtaRow, Fig6Result
+from repro.experiments.fig7_alpha_beta import Fig7Result, SweepPoint as F7Point
+from repro.experiments.fig8_l_n import Fig8Result, SweepPoint as F8Point
+from repro.experiments.table2_datasets import Table2Result
+from repro.experiments.table3_f1 import ApproachResult, Table3Result
+from repro.experiments.table4_metadata_only import PrivacyResult, Table4Result
+from repro.metrics import RunTiming
+
+
+class TestTable2Result:
+    def test_render_contains_rows(self):
+        result = Table2Result(rows=[["wikitable", 10, 50, 5, "0.00%"]])
+        assert "wikitable" in result.render()
+
+
+class TestTable3Result:
+    def make(self):
+        return Table3Result(
+            [
+                ApproachResult("wikitable", "taste", 0.9, 0.8, 0.85, 0.4),
+                ApproachResult("gittables", "turl", 0.95, 0.9, 0.92, 1.0),
+            ]
+        )
+
+    def test_get(self):
+        assert self.make().get("wikitable", "taste").f1 == 0.85
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.make().get("wikitable", "doduo")
+
+    def test_rows_for_filters_corpus(self):
+        assert len(self.make().rows_for("wikitable")) == 1
+
+    def test_render_has_both_corpora_blocks(self):
+        out = self.make().render()
+        assert "wikitable dataset" in out and "gittables dataset" in out
+
+
+class TestTable4Result:
+    def test_get_and_render(self):
+        result = Table4Result(
+            [PrivacyResult("wikitable", "taste", 0.9, 0.9, 0.9)]
+        )
+        assert result.get("wikitable", "taste").f1 == 0.9
+        assert "TASTE w/o P2" in result.render()
+        with pytest.raises(KeyError):
+            result.get("gittables", "taste")
+
+
+class TestFig4Result:
+    def test_get_and_render(self):
+        result = Fig4Result(
+            [TimingRow("wikitable", "taste", RunTiming(1.0, 0.1, 3), 0.5)]
+        )
+        assert result.get("wikitable", "taste").timing.mean_seconds == 1.0
+        assert "TASTE" in result.render()
+        with pytest.raises(KeyError):
+            result.get("wikitable", "doduo")
+
+
+class TestFig5Result:
+    def test_get_ratio(self):
+        result = Fig5Result(
+            [ApproachResult("wikitable", "taste", 0.9, 0.8, 0.85, 0.37)]
+        )
+        assert result.get("wikitable", "taste") == 0.37
+        assert "37.0%" in result.render()
+
+
+class TestFig6Result:
+    def test_render_sorted_rows(self):
+        result = Fig6Result(
+            [EtaRow(50, 0.05, 1.0, 0.4, 0.9), EtaRow(10, 0.7, 0.3, 0.1, 0.88)]
+        )
+        out = result.render()
+        assert "5.0%" in out and "70.0%" in out
+
+
+class TestFig7Result:
+    def test_render_two_blocks(self):
+        point = F7Point(0.1, 0.9, 0.9, 0.6)
+        out = Fig7Result([point], [point]).render()
+        assert "varying alpha" in out and "varying beta" in out
+
+
+class TestFig8Result:
+    def test_render_two_blocks(self):
+        point = F8Point(20, 10, 0.5, 0.9)
+        out = Fig8Result([point], [point]).render()
+        assert "varying l" in out and "varying n" in out
+
+
+class TestAblationResults:
+    def test_awl_get_and_render(self):
+        result = AblationResult(
+            [AblationRow("automatic weighted", 0.9, 0.8, 0.4)]
+        )
+        assert result.get("automatic weighted").f1_full == 0.9
+        assert "automatic weighted" in result.render()
+        with pytest.raises(KeyError):
+            result.get("fixed sum")
+
+    def test_pretrain_get_and_render(self):
+        result = PretrainAblationResult(
+            [PretrainRow("random init", 0.9, 0.4, 0.01)]
+        )
+        assert result.get("random init").f1 == 0.9
+        assert "random init" in result.render()
+        with pytest.raises(KeyError):
+            result.get("MLM pre-trained")
+
+    def test_extra_baselines_get_and_render(self):
+        result = ExtraBaselinesResult(
+            [BaselineRow("regex", 0.95, 0.3, 0.45, True)]
+        )
+        assert result.get("regex").precision == 0.95
+        assert "regex" in result.render()
+        with pytest.raises(KeyError):
+            result.get("taste")

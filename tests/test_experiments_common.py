@@ -1,0 +1,98 @@
+"""Tests for the experiment harness plumbing (scales, cache, cost model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    SCALES,
+    encoder_config,
+    get_corpus,
+    get_scale,
+    paper_cost_model,
+)
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestScales:
+    def test_known_profiles(self):
+        assert {"default", "small"} <= set(SCALES)
+
+    def test_get_scale_by_name(self):
+        assert get_scale("small").name == "small"
+
+    def test_get_scale_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert get_scale().name == "small"
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("giant")
+
+    def test_small_is_smaller(self):
+        assert SCALES["small"].num_tables <= SCALES["default"].num_tables
+
+
+class TestPaperCostModel:
+    def test_proportions(self):
+        model = paper_cost_model()
+        # Scans are an order of magnitude costlier than metadata fetches.
+        scan_cost = model.scan_fixed + model.scan_per_row * 50
+        assert scan_cost > 5 * model.metadata_per_table
+
+    def test_time_scale_passthrough(self):
+        assert paper_cost_model(time_scale=0.0).time_scale == 0.0
+
+
+class TestEncoderConfig:
+    def test_vocab_size_threaded(self):
+        assert encoder_config(1234).vocab_size == 1234
+
+    def test_cpu_scale(self):
+        config = encoder_config(1000)
+        assert config.hidden_size <= 128
+        assert config.num_layers <= 4
+
+
+class TestCorpusMemo:
+    def test_same_object_returned(self):
+        scale = get_scale("small")
+        assert get_corpus("wikitable", scale) is get_corpus("wikitable", scale)
+
+    def test_unknown_corpus(self):
+        with pytest.raises(KeyError):
+            get_corpus("csvfiles", get_scale("small"))
+
+
+class TestRunnerCLI:
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "ablation_awl", "extra_baselines", "ablation_pretrain",
+        }
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_table2_runs_end_to_end(self, capsys):
+        assert main(["table2", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "wikitable" in out and "gittables" in out
+
+
+class TestCLIEntryPoint:
+    def test_console_script_help(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "taste-repro" in result.stdout

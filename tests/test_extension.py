@@ -1,0 +1,135 @@
+"""Tests for incremental domain-set extension (paper future work #1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    TrainConfig,
+    extend_model,
+    extend_registry,
+    incremental_fine_tune,
+)
+from repro.datagen import SemanticType, TableGenConfig, generate_table
+from repro.datagen import values as V
+from repro.features import FeatureConfig, Featurizer, collate
+
+NEW_TYPES = [
+    SemanticType(
+        "telecom.imsi", "telecom", "varchar",
+        lambda rng: "460" + "".join(str(int(d)) for d in rng.integers(0, 10, 12)),
+        clean_names=("imsi", "subscriber_id"),
+        comments=("international mobile subscriber identity",),
+    ),
+]
+
+
+class TestExtendRegistry:
+    def test_grows_label_space(self, registry):
+        extended = extend_registry(registry, NEW_TYPES)
+        assert extended.num_labels == registry.num_labels + 1
+        assert "telecom.imsi" in extended
+
+    def test_existing_labels_survive(self, registry):
+        extended = extend_registry(registry, NEW_TYPES)
+        for t in registry:
+            assert t.name in extended
+
+    def test_duplicate_rejected(self, registry):
+        clash = SemanticType(
+            "geo.city", "geo", "varchar", V.city, clean_names=("city",)
+        )
+        with pytest.raises(ValueError):
+            extend_registry(registry, [clash])
+
+
+class TestExtendModel:
+    def test_shapes_grow(self, trained_model, registry):
+        extended_registry = extend_registry(registry, NEW_TYPES)
+        extended = extend_model(trained_model, registry, extended_registry)
+        out_weight = extended.meta_classifier.output.weight
+        assert out_weight.shape[1] == extended_registry.num_labels
+
+    def test_encoder_transferred_verbatim(self, trained_model, registry):
+        extended_registry = extend_registry(registry, NEW_TYPES)
+        extended = extend_model(trained_model, registry, extended_registry)
+        old_state = trained_model.state_dict()
+        new_state = extended.state_dict()
+        for key in old_state:
+            if "classifier.output" not in key:
+                assert np.array_equal(old_state[key], new_state[key]), key
+
+    def test_surviving_labels_keep_scores(
+        self, trained_model, registry, featurizer, tiny_corpus
+    ):
+        """Predictions for old types are bit-identical after extension."""
+        extended_registry = extend_registry(registry, NEW_TYPES)
+        extended = extend_model(trained_model, registry, extended_registry)
+
+        batch = collate([featurizer.encode_offline(tiny_corpus.tables[0])])
+        with nn.no_grad():
+            old_logits = trained_model.meta_logits(
+                batch, trained_model.encode_metadata(batch)
+            ).data[0]
+            new_logits = extended.meta_logits(
+                batch, extended.encode_metadata(batch)
+            ).data[0]
+        for name in registry.label_names:
+            old_index = registry.label_id(name)
+            new_index = extended_registry.label_id(name)
+            assert np.allclose(
+                old_logits[:, old_index], new_logits[:, new_index], atol=1e-5
+            ), name
+
+    def test_shrinking_rejected(self, trained_model, registry):
+        smaller = registry.subset(["geo.city"])
+        with pytest.raises(ValueError):
+            extend_model(trained_model, registry, smaller)
+
+
+class TestIncrementalFineTune:
+    def test_learns_new_type_without_forgetting(
+        self, trained_model, registry, tokenizer, tiny_corpus, rng
+    ):
+        extended_registry_probe = extend_registry(registry, NEW_TYPES)
+
+        # tables exercising the new type (plus some old columns)
+        config = TableGenConfig(min_columns=3, max_columns=5, min_rows=20, max_rows=30)
+        new_tables = []
+        for i in range(10):
+            table = generate_table(extended_registry_probe, config, rng, 100 + i)
+            # force one column of the new type into each table
+            imsi_values = [NEW_TYPES[0].generator(rng) for _ in range(table.num_rows)]
+            from repro.datagen import Column
+
+            table.columns[0] = Column(
+                "imsi", "", "varchar", imsi_values, ["telecom.imsi"]
+            )
+            new_tables.append(table)
+
+        result = incremental_fine_tune(
+            trained_model,
+            registry,
+            NEW_TYPES,
+            featurizer_factory=lambda reg: Featurizer(tokenizer, reg, FeatureConfig()),
+            new_tables=new_tables,
+            replay_tables=tiny_corpus.train[:10],
+            config=TrainConfig(epochs=14, batch_size=4, learning_rate=2e-3),
+        )
+        assert result.registry.num_labels == registry.num_labels + 1
+        assert result.history.epoch_losses[-1] < result.history.epoch_losses[0]
+
+        # the new type is now predictable on its training tables
+        featurizer = Featurizer(tokenizer, result.registry, FeatureConfig())
+        batch = collate([featurizer.encode_offline(new_tables[0])])
+        with nn.no_grad():
+            meta_layers = result.model.encode_metadata(batch)
+            content_hidden = result.model.encode_content(batch, meta_layers)
+            logits = result.model.content_logits(
+                batch, meta_layers, content_hidden
+            ).data[0]
+        probs = 1 / (1 + np.exp(-logits))
+        new_index = result.registry.label_id("telecom.imsi")
+        assert probs[0, new_index] > 0.5

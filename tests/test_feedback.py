@@ -1,0 +1,111 @@
+"""Tests for user-feedback adaptation (paper future work #2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import ADTDConfig, ADTDModel, FeedbackBuffer, apply_feedback
+from repro.features import collate
+
+
+@pytest.fixture()
+def mutable_model(trained_model, tiny_encoder, tiny_corpus):
+    """A private copy of the trained model — feedback mutates weights."""
+    clone = ADTDModel(
+        ADTDConfig(tiny_encoder, num_labels=tiny_corpus.registry.num_labels), seed=5
+    )
+    clone.load_state_dict(trained_model.state_dict())
+    clone.eval()
+    return clone
+
+
+class TestFeedbackBuffer:
+    def test_record_and_len(self, tiny_corpus):
+        buffer = FeedbackBuffer()
+        table = tiny_corpus.tables[0]
+        buffer.record(table, table.columns[0].name, ["geo.city"])
+        assert len(buffer) == 1
+
+    def test_unknown_column_rejected(self, tiny_corpus):
+        buffer = FeedbackBuffer()
+        with pytest.raises(KeyError):
+            buffer.record(tiny_corpus.tables[0], "ghost", ["geo.city"])
+
+    def test_capacity_fifo(self, tiny_corpus):
+        buffer = FeedbackBuffer(capacity=2)
+        table = tiny_corpus.tables[0]
+        for types in (["geo.city"], ["geo.state"], ["geo.country"]):
+            buffer.record(table, table.columns[0].name, types)
+        assert len(buffer) == 2
+        assert buffer.examples[0].correct_types == ("geo.state",)
+
+    def test_clear(self, tiny_corpus):
+        buffer = FeedbackBuffer()
+        table = tiny_corpus.tables[0]
+        buffer.record(table, table.columns[0].name, [])
+        buffer.clear()
+        assert len(buffer) == 0
+
+
+class TestApplyFeedback:
+    def _column_prob(self, model, featurizer, table, column_index, type_name):
+        batch = collate([featurizer.encode_offline(table)])
+        with nn.no_grad():
+            logits = model.meta_logits(batch, model.encode_metadata(batch)).data[0]
+        probs = 1 / (1 + np.exp(-logits))
+        return float(probs[column_index, featurizer.registry.label_id(type_name)])
+
+    def test_empty_buffer_is_noop(self, mutable_model, featurizer):
+        stats = apply_feedback(mutable_model, featurizer, FeedbackBuffer())
+        assert stats.examples == 0 and stats.steps == 0
+
+    def test_correction_raises_target_probability(
+        self, mutable_model, featurizer, tiny_corpus
+    ):
+        table = tiny_corpus.tables[0]
+        column = table.columns[0]
+        # assert a deliberately different type than the ground truth
+        target = "misc.color" if "misc.color" not in column.types else "geo.city"
+        before = self._column_prob(mutable_model, featurizer, table, 0, target)
+
+        buffer = FeedbackBuffer()
+        buffer.record(table, column.name, [target])
+        stats = apply_feedback(
+            mutable_model, featurizer, buffer, steps=15, learning_rate=2e-3
+        )
+        after = self._column_prob(mutable_model, featurizer, table, 0, target)
+        assert after > before
+        assert stats.final_loss < stats.initial_loss
+
+    def test_other_tables_mostly_undisturbed(
+        self, mutable_model, featurizer, tiny_corpus
+    ):
+        """Online updates are bounded: predictions elsewhere barely move."""
+        other = tiny_corpus.tables[5]
+        batch = collate([featurizer.encode_offline(other)])
+        with nn.no_grad():
+            before = mutable_model.meta_logits(
+                batch, mutable_model.encode_metadata(batch)
+            ).data.copy()
+
+        table = tiny_corpus.tables[0]
+        buffer = FeedbackBuffer()
+        buffer.record(table, table.columns[0].name, ["misc.color"])
+        apply_feedback(mutable_model, featurizer, buffer, steps=5, learning_rate=5e-4)
+
+        with nn.no_grad():
+            after = mutable_model.meta_logits(
+                batch, mutable_model.encode_metadata(batch)
+            ).data
+        probs_before = 1 / (1 + np.exp(-before))
+        probs_after = 1 / (1 + np.exp(-after))
+        assert np.abs(probs_before - probs_after).max() < 0.25
+
+    def test_model_left_in_eval_mode(self, mutable_model, featurizer, tiny_corpus):
+        table = tiny_corpus.tables[0]
+        buffer = FeedbackBuffer()
+        buffer.record(table, table.columns[0].name, ["geo.city"])
+        apply_feedback(mutable_model, featurizer, buffer, steps=2)
+        assert not mutable_model.training

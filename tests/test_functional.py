@@ -1,0 +1,170 @@
+"""Tests for the fused functional ops (softmax, layernorm, gelu, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+batch_arrays = arrays(
+    np.float32,
+    st.tuples(st.integers(1, 3), st.integers(2, 6)),
+    elements=st.floats(-4.0, 4.0, width=32),
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)).astype(np.float32))
+        out = F.softmax(x)
+        assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_stability_large_values(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        assert np.allclose(out.data, 0.5)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        w = rng.standard_normal((2, 4)).astype(np.float32)
+        t = Tensor(x, requires_grad=True)
+        (F.softmax(t) * Tensor(w)).sum().backward()
+        eps = 1e-3
+        for index in [(0, 0), (1, 3)]:
+            xp, xm = x.copy(), x.copy()
+            xp[index] += eps
+            xm[index] -= eps
+            sp = np.exp(xp - xp.max(-1, keepdims=True))
+            sm = np.exp(xm - xm.max(-1, keepdims=True))
+            num = (
+                float((sp / sp.sum(-1, keepdims=True) * w).sum())
+                - float((sm / sm.sum(-1, keepdims=True) * w).sum())
+            ) / (2 * eps)
+            assert t.grad[index] == pytest.approx(num, rel=5e-2, abs=1e-3)
+
+    @given(batch_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_probability_simplex(self, x):
+        out = F.softmax(Tensor(x)).data
+        assert (out >= 0).all()
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).standard_normal((2, 5)).astype(np.float32))
+        assert np.allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-5
+        )
+
+    def test_gradient_rows_sum_zero(self):
+        # d/dx sum(log_softmax) has rows summing to 0 by symmetry
+        t = Tensor(np.random.default_rng(3).standard_normal((2, 4)).astype(np.float32),
+                   requires_grad=True)
+        F.log_softmax(t).sum().backward()
+        assert np.allclose(t.grad.sum(axis=-1), 0.0, atol=1e-5)
+
+
+class TestLayerNorm:
+    def test_output_normalized(self):
+        hidden = 8
+        weight = Tensor(np.ones(hidden), requires_grad=True)
+        bias = Tensor(np.zeros(hidden), requires_grad=True)
+        x = Tensor(np.random.default_rng(4).standard_normal((3, hidden)).astype(np.float32))
+        out = F.layer_norm(x, weight, bias).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradient_matches_numeric(self):
+        hidden = 6
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((2, hidden)).astype(np.float32)
+        w = rng.standard_normal(hidden).astype(np.float32)
+        b = rng.standard_normal(hidden).astype(np.float32)
+        r = rng.standard_normal((2, hidden)).astype(np.float32)
+        xt = Tensor(x, requires_grad=True)
+        wt, bt = Tensor(w, requires_grad=True), Tensor(b, requires_grad=True)
+        (F.layer_norm(xt, wt, bt) * Tensor(r)).sum().backward()
+
+        def forward(xv):
+            mean = xv.mean(-1, keepdims=True)
+            var = ((xv - mean) ** 2).mean(-1, keepdims=True)
+            normalized = (xv - mean) / np.sqrt(var + 1e-5)
+            return float(((normalized * w + b) * r).sum())
+
+        eps = 1e-3
+        for index in [(0, 0), (1, 5)]:
+            xp, xm = x.astype(np.float64), x.astype(np.float64)
+            xp = xp.copy(); xp[index] += eps
+            xm = xm.copy(); xm[index] -= eps
+            num = (forward(xp) - forward(xm)) / (2 * eps)
+            assert xt.grad[index] == pytest.approx(num, rel=5e-2, abs=1e-3)
+
+
+class TestGelu:
+    def test_known_values(self):
+        out = F.gelu(Tensor(np.array([0.0], dtype=np.float32)))
+        assert out.data[0] == pytest.approx(0.0)
+        out = F.gelu(Tensor(np.array([100.0], dtype=np.float32)))
+        assert out.data[0] == pytest.approx(100.0, rel=1e-4)
+
+    def test_gradient_numeric(self):
+        x = np.array([-1.0, 0.3, 2.0], dtype=np.float32)
+        t = Tensor(x, requires_grad=True)
+        F.gelu(t).sum().backward()
+        eps = 1e-3
+        coeff = np.sqrt(2 / np.pi)
+        def f(v):
+            return float((0.5 * v * (1 + np.tanh(coeff * (v + 0.044715 * v**3)))).sum())
+        for i in range(3):
+            xp, xm = x.astype(np.float64).copy(), x.astype(np.float64).copy()
+            xp[i] += eps
+            xm[i] -= eps
+            assert t.grad[i] == pytest.approx((f(xp) - f(xm)) / (2 * eps), rel=2e-2)
+
+
+class TestEmbeddingLookup:
+    def test_forward_gathers_rows(self):
+        weight = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3), requires_grad=True)
+        out = F.embedding_lookup(weight, np.array([[0, 2], [2, 3]]))
+        assert out.shape == (2, 2, 3)
+        assert np.allclose(out.data[0, 1], weight.data[2])
+
+    def test_backward_accumulates_repeats(self):
+        weight = Tensor(np.zeros((4, 2), dtype=np.float32), requires_grad=True)
+        F.embedding_lookup(weight, np.array([1, 1, 3])).sum().backward()
+        assert np.allclose(weight.grad[1], 2.0)
+        assert np.allclose(weight.grad[3], 1.0)
+        assert np.allclose(weight.grad[0], 0.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        rng = np.random.default_rng(0)
+        assert F.dropout(x, 0.5, rng, training=False) is x
+
+    def test_zero_p_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        assert F.dropout(x, 0.0, np.random.default_rng(0), training=True) is x
+
+    def test_training_scales_kept_values(self):
+        x = Tensor(np.ones((100, 100)), requires_grad=True)
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        kept = out.data[out.data != 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.35 < (out.data != 0).mean() < 0.65
+
+
+class TestAttentionMask:
+    def test_shape_and_values(self):
+        padding = np.array([[True, True, False]])
+        mask = F.additive_attention_mask(padding)
+        assert mask.shape == (1, 1, 1, 3)
+        assert mask[0, 0, 0, 0] == 0.0
+        assert mask[0, 0, 0, 2] < -1e8

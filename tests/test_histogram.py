@@ -1,0 +1,92 @@
+"""Tests for ANALYZE TABLE histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import EQUAL_HEIGHT, EQUAL_WIDTH, build_histogram
+
+
+class TestEqualWidth:
+    def test_fractions_sum_to_one(self):
+        hist = build_histogram([str(i) for i in range(100)], EQUAL_WIDTH)
+        assert sum(hist.fractions) == pytest.approx(1.0)
+
+    def test_bounds_monotonic(self):
+        hist = build_histogram([str(i) for i in range(50)], EQUAL_WIDTH)
+        bounds = np.asarray(hist.bounds)
+        assert (np.diff(bounds) > 0).all()
+
+    def test_uniform_data_spreads_evenly(self):
+        hist = build_histogram([str(i) for i in range(800)], EQUAL_WIDTH, num_buckets=8)
+        assert max(hist.fractions) - min(hist.fractions) < 0.05
+
+    def test_numeric_detection(self):
+        hist = build_histogram(["1", "2", "3.5"], EQUAL_WIDTH)
+        assert hist.is_numeric
+
+    def test_string_columns_use_lengths(self):
+        hist = build_histogram(["ab", "abcd", "abcdef"], EQUAL_WIDTH)
+        assert not hist.is_numeric
+        assert hist.min_value == 2.0
+        assert hist.max_value == 6.0
+
+    def test_constant_column(self):
+        hist = build_histogram(["7"] * 10, EQUAL_WIDTH)
+        assert hist.num_distinct == 1
+        assert sum(hist.fractions) == pytest.approx(1.0)
+
+
+class TestEqualHeight:
+    def test_buckets_roughly_equal_mass(self):
+        values = [str(float(v)) for v in np.random.default_rng(0).normal(size=1000)]
+        hist = build_histogram(values, EQUAL_HEIGHT, num_buckets=4)
+        assert max(hist.fractions) < 0.35
+        assert min(hist.fractions) > 0.15
+
+    def test_kind_recorded(self):
+        hist = build_histogram(["1", "2"], EQUAL_HEIGHT)
+        assert hist.kind == EQUAL_HEIGHT
+
+
+class TestNullHandling:
+    def test_null_fraction(self):
+        hist = build_histogram(["1", "", "2", ""], EQUAL_WIDTH)
+        assert hist.null_fraction == pytest.approx(0.5)
+
+    def test_all_empty_column(self):
+        hist = build_histogram(["", "", ""], EQUAL_WIDTH)
+        assert hist.null_fraction == pytest.approx(1.0)
+        assert sum(hist.fractions) == 0.0
+        assert hist.num_distinct == 0
+
+    def test_empty_list(self):
+        hist = build_histogram([], EQUAL_WIDTH)
+        assert hist.null_fraction == 0.0
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_histogram(["1"], "triangular")
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            build_histogram(["1"], EQUAL_WIDTH, num_buckets=0)
+
+
+@given(
+    st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=60),
+    st.sampled_from([EQUAL_WIDTH, EQUAL_HEIGHT]),
+)
+@settings(max_examples=40, deadline=None)
+def test_histogram_invariants(values, kind):
+    hist = build_histogram([str(v) for v in values], kind)
+    assert hist.num_buckets == 8
+    assert len(hist.bounds) == 9
+    assert sum(hist.fractions) == pytest.approx(1.0, abs=1e-6)
+    assert hist.num_distinct <= len(values)
+    assert 0.0 <= hist.null_fraction <= 1.0

@@ -1,0 +1,95 @@
+"""Tests for the latent cache (LRU + counters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CachedEncoding, LatentCache
+
+
+def encoding(value: float = 0.0) -> CachedEncoding:
+    return CachedEncoding(
+        layer_outputs=[np.full((1, 2, 4), value)],
+        meta_mask=np.ones((1, 2), dtype=bool),
+        col_positions=np.zeros((1, 1), dtype=np.int64),
+        numeric=np.zeros((1, 1, 3), dtype=np.float32),
+        meta_logits=np.zeros((1, 1, 5), dtype=np.float32),
+    )
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LatentCache()
+        cache.put("a", encoding(1.0))
+        hit = cache.get("a")
+        assert hit is not None
+        assert hit.layer_outputs[0][0, 0, 0] == 1.0
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counted(self):
+        cache = LatentCache()
+        assert cache.get("ghost") is None
+        assert cache.misses == 1
+
+    def test_contains_and_len(self):
+        cache = LatentCache()
+        cache.put("a", encoding())
+        assert "a" in cache and len(cache) == 1
+
+    def test_invalidate(self):
+        cache = LatentCache()
+        cache.put("a", encoding())
+        cache.invalidate("a")
+        assert "a" not in cache
+        cache.invalidate("a")  # idempotent
+
+    def test_clear_resets_counters(self):
+        cache = LatentCache()
+        cache.put("a", encoding())
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = LatentCache(capacity=2)
+        cache.put("a", encoding())
+        cache.put("b", encoding())
+        cache.put("c", encoding())
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_get_refreshes_recency(self):
+        cache = LatentCache(capacity=2)
+        cache.put("a", encoding())
+        cache.put("b", encoding())
+        cache.get("a")  # refresh a
+        cache.put("c", encoding())
+        assert "a" in cache and "b" not in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = LatentCache(capacity=2)
+        cache.put("a", encoding(1.0))
+        cache.put("b", encoding())
+        cache.put("a", encoding(2.0))
+        cache.put("c", encoding())
+        assert "a" in cache and "b" not in cache
+        assert cache.get("a").layer_outputs[0][0, 0, 0] == 2.0
+
+
+class TestDisabled:
+    def test_disabled_cache_never_stores(self):
+        cache = LatentCache(enabled=False)
+        cache.put("a", encoding())
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_disabled_counts_misses(self):
+        cache = LatentCache(enabled=False)
+        cache.get("a")
+        cache.get("b")
+        assert cache.misses == 2

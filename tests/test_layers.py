@@ -1,0 +1,73 @@
+"""Tests for basic layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = nn.Linear(4, 7, rng)
+        assert layer(nn.Tensor(np.ones((3, 4)))).shape == (3, 7)
+
+    def test_affine_math(self, rng):
+        layer = nn.Linear(2, 2, rng)
+        layer.weight.data = np.eye(2, dtype=np.float32)
+        layer.bias.data = np.array([1.0, -1.0], dtype=np.float32)
+        out = layer(nn.Tensor(np.array([[3.0, 4.0]])))
+        assert np.allclose(out.data, [[4.0, 3.0]])
+
+    def test_gradients_flow(self, rng):
+        layer = nn.Linear(3, 2, rng)
+        layer(nn.Tensor(np.ones((5, 3)))).sum().backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert np.allclose(layer.bias.grad, 5.0)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_grad_scatter(self, rng):
+        emb = nn.Embedding(5, 3, rng)
+        emb(np.array([0, 0, 1])).sum().backward()
+        assert np.allclose(emb.weight.grad[0], 2.0)
+
+
+class TestLayerNormLayer:
+    def test_normalizes(self, rng):
+        layer = nn.LayerNorm(6)
+        out = layer(nn.Tensor(rng.standard_normal((4, 6)).astype(np.float32)))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+
+
+class TestDropoutLayer:
+    def test_respects_training_flag(self, rng):
+        layer = nn.Dropout(0.5, rng)
+        x = nn.Tensor(np.ones((10, 10)))
+        layer.training = False
+        assert np.array_equal(layer(x).data, x.data)
+        layer.training = True
+        # dropout only takes effect when gradients are being recorded
+        y = nn.Tensor(np.ones((10, 10)), requires_grad=True)
+        assert not np.array_equal(layer(y).data, y.data)
+
+
+class TestActivations:
+    def test_relu_module(self):
+        assert np.allclose(nn.ReLU()(nn.Tensor(np.array([-1.0, 2.0]))).data, [0.0, 2.0])
+
+    def test_gelu_module(self):
+        out = nn.GELU()(nn.Tensor(np.array([0.0], dtype=np.float32)))
+        assert out.data[0] == pytest.approx(0.0)
+
+
+class TestSequential:
+    def test_chains(self, rng):
+        seq = nn.Sequential(nn.Linear(2, 4, rng), nn.ReLU(), nn.Linear(4, 1, rng))
+        assert seq(nn.Tensor(np.ones((3, 2)))).shape == (3, 1)

@@ -1,0 +1,123 @@
+"""Tests for loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import nn
+from repro.nn import functional as F
+
+
+def manual_bce(logits, targets):
+    probs = 1 / (1 + np.exp(-logits))
+    eps = 1e-12
+    return -(targets * np.log(probs + eps) + (1 - targets) * np.log(1 - probs + eps))
+
+
+class TestBCEWithLogits:
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 5)).astype(np.float32)
+        targets = (rng.random((3, 5)) < 0.4).astype(np.float32)
+        loss = nn.bce_with_logits(nn.Tensor(logits), targets)
+        assert float(loss.data) == pytest.approx(manual_bce(logits, targets).mean(), rel=1e-4)
+
+    def test_mask_excludes_entries(self):
+        logits = np.array([[10.0, 0.0]], dtype=np.float32)
+        targets = np.array([[0.0, 0.0]], dtype=np.float32)
+        mask = np.array([[0.0, 1.0]], dtype=np.float32)
+        loss = nn.bce_with_logits(nn.Tensor(logits), targets, mask=mask)
+        # only the second entry (logit 0 vs target 0) contributes: ln 2
+        assert float(loss.data) == pytest.approx(np.log(2.0), rel=1e-4)
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        logits = nn.Tensor(np.array([[0.0, 2.0]], dtype=np.float32), requires_grad=True)
+        targets = np.array([[1.0, 0.0]], dtype=np.float32)
+        nn.bce_with_logits(logits, targets).backward()
+        probs = 1 / (1 + np.exp(-logits.data))
+        assert np.allclose(logits.grad, (probs - targets) / 2.0, atol=1e-5)
+
+    def test_numerical_stability_extreme_logits(self):
+        logits = nn.Tensor(np.array([[500.0, -500.0]], dtype=np.float32))
+        targets = np.array([[1.0, 0.0]], dtype=np.float32)
+        loss = nn.bce_with_logits(logits, targets)
+        assert np.isfinite(float(loss.data))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-5)
+
+    @given(
+        arrays(np.float32, (2, 4), elements=st.floats(-8, 8, width=32)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_loss_nonnegative(self, logits):
+        targets = (logits > 0).astype(np.float32)  # arbitrary binary targets
+        loss = nn.bce_with_logits(nn.Tensor(logits), targets)
+        assert float(loss.data) >= 0.0
+
+
+class TestMaskedCrossEntropy:
+    def test_matches_manual(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((2, 3, 5)).astype(np.float32)
+        targets = rng.integers(0, 5, (2, 3))
+        mask = np.array([[1, 0, 1], [0, 1, 0]], dtype=np.float32)
+        loss = nn.masked_cross_entropy(nn.Tensor(logits), targets, mask)
+
+        log_probs = F.log_softmax(nn.Tensor(logits)).data
+        manual = 0.0
+        for b in range(2):
+            for s in range(3):
+                if mask[b, s]:
+                    manual -= log_probs[b, s, targets[b, s]]
+        assert float(loss.data) == pytest.approx(manual / mask.sum(), rel=1e-4)
+
+    def test_all_masked_out_is_finite(self):
+        logits = nn.Tensor(np.zeros((1, 2, 3), dtype=np.float32))
+        loss = nn.masked_cross_entropy(logits, np.zeros((1, 2), dtype=int), np.zeros((1, 2)))
+        assert np.isfinite(float(loss.data))
+
+    def test_gradient_flows_only_to_masked_positions(self):
+        logits = nn.Tensor(np.zeros((1, 2, 3), dtype=np.float32), requires_grad=True)
+        mask = np.array([[1.0, 0.0]])
+        nn.masked_cross_entropy(logits, np.array([[0, 0]]), mask).backward()
+        assert np.abs(logits.grad[0, 0]).sum() > 0
+        assert np.allclose(logits.grad[0, 1], 0.0)
+
+
+class TestAutomaticWeightedLoss:
+    def test_value_at_unit_weights(self):
+        awl = nn.AutomaticWeightedLoss(2)
+        losses = [nn.Tensor(np.float32(1.0)), nn.Tensor(np.float32(2.0))]
+        total = awl(losses)
+        # 1/(2*1)*1 + ln2 + 1/(2*1)*2 + ln2
+        assert float(total.data) == pytest.approx(1.5 + 2 * np.log(2.0), rel=1e-4)
+
+    def test_weights_receive_gradients(self):
+        awl = nn.AutomaticWeightedLoss(2)
+        total = awl([
+            nn.Tensor(np.float32(1.0), requires_grad=True),
+            nn.Tensor(np.float32(4.0), requires_grad=True),
+        ])
+        total.backward()
+        assert awl.weights.grad is not None
+        # The larger loss pushes its weight upward more strongly.
+        assert awl.weights.grad[1] < awl.weights.grad[0]
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            nn.AutomaticWeightedLoss(2)([nn.Tensor(np.float32(1.0))])
+
+    def test_training_balances_tasks(self):
+        """Optimizing the AWL should raise the weight of the noisier task."""
+        awl = nn.AutomaticWeightedLoss(2)
+        opt = nn.Adam(awl.parameters(), lr=0.05)
+        for _ in range(100):
+            total = awl([nn.Tensor(np.float32(0.1)), nn.Tensor(np.float32(5.0))])
+            awl.zero_grad()
+            total.backward()
+            opt.step()
+        # the task with the larger loss gets the larger uncertainty weight
+        assert abs(float(awl.weights.data[1])) > abs(float(awl.weights.data[0]))

@@ -1,0 +1,122 @@
+"""Tests for metrics: micro PRF, runtime aggregation, table rendering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    RunTiming,
+    confusion_counts,
+    ground_truth_map,
+    measure_runs,
+    micro_prf,
+    render_table,
+)
+
+
+class TestMicroPRF:
+    def test_perfect_prediction(self):
+        truth = {("t", "a"): ["x"], ("t", "b"): ["y", "z"]}
+        prf = micro_prf(truth, truth)
+        assert prf.precision == prf.recall == prf.f1 == 1.0
+
+    def test_counts(self):
+        truth = {("t", "a"): ["x", "y"]}
+        preds = {("t", "a"): ["x", "z"]}
+        tp, fp, fn = confusion_counts(preds, truth)
+        assert (tp, fp, fn) == (1, 1, 1)
+
+    def test_missing_prediction_counts_as_empty(self):
+        truth = {("t", "a"): ["x"]}
+        prf = micro_prf({}, truth)
+        assert prf.recall == 0.0
+        assert prf.false_negatives == 1
+
+    def test_extra_predicted_keys_ignored(self):
+        truth = {("t", "a"): ["x"]}
+        preds = {("t", "a"): ["x"], ("t", "ghost"): ["y"]}
+        assert micro_prf(preds, truth).f1 == 1.0
+
+    def test_empty_truth_lists_neutral(self):
+        """Background columns (no types) contribute nothing when predicted empty."""
+        truth = {("t", "a"): [], ("t", "b"): ["x"]}
+        preds = {("t", "a"): [], ("t", "b"): ["x"]}
+        prf = micro_prf(preds, truth)
+        assert prf.f1 == 1.0
+        assert prf.true_positives == 1
+
+    def test_false_positive_on_background_column(self):
+        truth = {("t", "a"): []}
+        preds = {("t", "a"): ["x"]}
+        prf = micro_prf(preds, truth)
+        assert prf.precision == 0.0
+        assert prf.false_positives == 1
+
+    def test_all_empty_gives_zero_f1(self):
+        assert micro_prf({}, {("t", "a"): []}).f1 == 0.0
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.just("t"), st.text(min_size=1, max_size=4)),
+            st.lists(st.sampled_from(["x", "y", "z"]), max_size=3),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_self_prediction_is_perfect_or_zero(self, truth):
+        prf = micro_prf(truth, truth)
+        has_labels = any(types for types in truth.values())
+        assert prf.f1 == (1.0 if has_labels else 0.0)
+
+
+class TestGroundTruthMap:
+    def test_maps_all_columns(self, tiny_corpus):
+        mapping = ground_truth_map(tiny_corpus.test)
+        assert len(mapping) == sum(t.num_columns for t in tiny_corpus.test)
+        key = (tiny_corpus.test[0].name, tiny_corpus.test[0].columns[0].name)
+        assert mapping[key] == tiny_corpus.test[0].columns[0].types
+
+
+class TestRunTiming:
+    def test_of_single_sample(self):
+        timing = RunTiming.of([2.0])
+        assert timing.mean_seconds == 2.0
+        assert timing.stdev_seconds == 0.0
+
+    def test_of_multiple(self):
+        timing = RunTiming.of([1.0, 3.0])
+        assert timing.mean_seconds == 2.0
+        assert timing.stdev_seconds == pytest.approx(1.4142, rel=1e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunTiming.of([])
+
+    def test_measure_runs(self):
+        calls = []
+
+        def fake_run():
+            calls.append(1)
+            return 0.5
+
+        timing = measure_runs(fake_run, repeats=3)
+        assert timing.runs == 3 and len(calls) == 3
+
+    def test_measure_runs_validates(self):
+        with pytest.raises(ValueError):
+            measure_runs(lambda: 0.0, repeats=0)
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out

@@ -1,0 +1,103 @@
+"""Tests for the Module / Parameter system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TinyNet(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.linear = nn.Linear(4, 3, rng)
+        self.inner = nn.Sequential(nn.Linear(3, 3, rng), nn.ReLU())
+
+    def forward(self, x):
+        return self.inner(self.linear(x))
+
+
+@pytest.fixture()
+def net(rng):
+    return TinyNet(rng)
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_are_nested(self, net):
+        names = {name for name, _ in net.named_parameters()}
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+        assert "inner.layer_0.weight" in names
+
+    def test_num_parameters(self, net):
+        assert net.num_parameters() == 4 * 3 + 3 + 3 * 3 + 3
+
+    def test_modules_iterates_tree(self, net):
+        kinds = {type(m).__name__ for m in net.modules()}
+        assert {"TinyNet", "Linear", "Sequential", "ReLU"} <= kinds
+
+
+class TestModes:
+    def test_train_eval_propagate(self, net):
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+
+class TestGradients:
+    def test_zero_grad_clears(self, net):
+        x = nn.Tensor(np.ones((2, 4)))
+        net(x).sum().backward()
+        assert net.linear.weight.grad is not None
+        net.zero_grad()
+        assert net.linear.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self, net, rng):
+        state = net.state_dict()
+        other = TinyNet(np.random.default_rng(99))
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_state_dict_copies(self, net):
+        state = net.state_dict()
+        state["linear.weight"][:] = 99.0
+        assert not np.allclose(net.linear.weight.data, 99.0)
+
+    def test_strict_missing_raises(self, net):
+        state = net.state_dict()
+        state.pop("linear.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, net):
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_non_strict_allows_partial(self, net):
+        state = net.state_dict()
+        state.pop("linear.weight")
+        net.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self, net):
+        state = net.state_dict()
+        state["linear.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_indexing_and_iteration(self, rng):
+        modules = nn.ModuleList([nn.Linear(2, 2, rng) for _ in range(3)])
+        assert len(modules) == 3
+        assert modules[1] is list(modules)[1]
+
+    def test_parameters_registered(self, rng):
+        modules = nn.ModuleList([nn.Linear(2, 2, rng) for _ in range(2)])
+        assert len(modules.parameters()) == 4

@@ -1,0 +1,111 @@
+"""Tests for optimizers, gradient clipping and schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def quadratic_param():
+    return Parameter(np.array([5.0, -3.0], dtype=np.float32))
+
+
+def quadratic_step(param):
+    loss = ((nn.Tensor(param.data) * 0.0 + param) ** 2).sum()
+    param.zero_grad()
+    loss.backward()
+    return float(loss.data)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = quadratic_param()
+        opt = nn.SGD([param], lr=0.1)
+        for _ in range(100):
+            quadratic_step(param)
+            opt.step()
+        assert np.abs(param.data).max() < 1e-2
+
+    def test_momentum_accelerates(self):
+        plain, heavy = quadratic_param(), quadratic_param()
+        opt_plain = nn.SGD([plain], lr=0.01)
+        opt_heavy = nn.SGD([heavy], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            quadratic_step(plain)
+            opt_plain.step()
+            quadratic_step(heavy)
+            opt_heavy.step()
+        assert np.abs(heavy.data).sum() < np.abs(plain.data).sum()
+
+    def test_skips_params_without_grad(self):
+        param = quadratic_param()
+        before = param.data.copy()
+        nn.SGD([param], lr=0.1).step()
+        assert np.array_equal(param.data, before)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = quadratic_param()
+        opt = nn.Adam([param], lr=0.3)
+        for _ in range(150):
+            quadratic_step(param)
+            opt.step()
+        assert np.abs(param.data).max() < 1e-2
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.Adam([param], lr=0.01, weight_decay=1.0)
+        # zero task gradient: only decay acts
+        param.grad = np.zeros(1, dtype=np.float32)
+        for _ in range(10):
+            opt.step()
+        assert param.data[0] < 1.0
+
+    def test_zero_grad_helper(self):
+        param = quadratic_param()
+        opt = nn.Adam([param])
+        quadratic_step(param)
+        opt.zero_grad()
+        assert param.grad is None
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_gradients(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        param.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_leaves_small_gradients(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        param.grad = np.array([0.1, 0.1], dtype=np.float32)
+        nn.clip_grad_norm([param], max_norm=1.0)
+        assert np.allclose(param.grad, 0.1)
+
+    def test_handles_missing_grads(self):
+        assert nn.clip_grad_norm([Parameter(np.zeros(2, dtype=np.float32))], 1.0) == 0.0
+
+
+class TestWarmupLinearSchedule:
+    def test_warmup_then_decay(self):
+        param = quadratic_param()
+        opt = nn.Adam([param], lr=1.0)
+        schedule = nn.WarmupLinearSchedule(opt, warmup_steps=2, total_steps=10)
+        lrs = [schedule.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0)
+        assert all(a >= b for a, b in zip(lrs[1:], lrs[2:]))
+
+    def test_invalid_total_steps(self):
+        with pytest.raises(ValueError):
+            nn.WarmupLinearSchedule(nn.Adam([quadratic_param()]), 0, 0)

@@ -1,0 +1,126 @@
+"""Tests for Algorithm 1's pipelined executor (with duck-typed fake jobs)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import PipelinedExecutor, SequentialExecutor
+
+
+class FakeJob:
+    """Duck-typed stand-in for TableJob: four stages, recorded ordering."""
+
+    STAGE_KINDS = ("prep", "infer", "prep", "infer")
+
+    def __init__(self, name: str, log: list, lock: threading.Lock, delay: float = 0.0,
+                 fail_at: int | None = None):
+        self.name = name
+        self.log = log
+        self.lock = lock
+        self.delay = delay
+        self.fail_at = fail_at
+        self.completed_stages = 0
+
+    @property
+    def num_stages(self) -> int:
+        return 4
+
+    @property
+    def done(self) -> bool:
+        return self.completed_stages >= 4
+
+    def next_stage_kind(self):
+        return None if self.done else self.STAGE_KINDS[self.completed_stages]
+
+    def run_next_stage(self) -> None:
+        stage = self.completed_stages
+        if self.fail_at == stage:
+            raise RuntimeError(f"{self.name} fails at stage {stage}")
+        if self.delay:
+            time.sleep(self.delay)
+        with self.lock:
+            self.log.append((self.name, stage))
+        self.completed_stages = stage + 1
+
+
+@pytest.fixture()
+def make_jobs():
+    def factory(count: int, delay: float = 0.0, fail=None):
+        log: list = []
+        lock = threading.Lock()
+        jobs = [
+            FakeJob(f"t{i}", log, lock, delay, fail_at=fail if i == 0 else None)
+            for i in range(count)
+        ]
+        return jobs, log
+
+    return factory
+
+
+class TestSequentialExecutor:
+    def test_all_stages_run_in_order(self, make_jobs):
+        jobs, log = make_jobs(3)
+        SequentialExecutor().run(jobs)
+        assert all(job.done for job in jobs)
+        # strictly table-by-table
+        assert log == [(f"t{i}", s) for i in range(3) for s in range(4)]
+
+
+class TestPipelinedExecutor:
+    def test_all_jobs_complete(self, make_jobs):
+        jobs, log = make_jobs(5)
+        PipelinedExecutor(2, 2).run(jobs)
+        assert all(job.done for job in jobs)
+        assert len(log) == 20
+
+    def test_per_job_stage_order_preserved(self, make_jobs):
+        jobs, log = make_jobs(4, delay=0.002)
+        PipelinedExecutor(2, 2).run(jobs)
+        per_job: dict[str, list[int]] = {}
+        for name, stage in log:
+            per_job.setdefault(name, []).append(stage)
+        for stages in per_job.values():
+            assert stages == [0, 1, 2, 3]
+
+    def test_empty_job_list(self):
+        PipelinedExecutor().run([])
+
+    def test_exception_propagates(self, make_jobs):
+        jobs, _ = make_jobs(3, fail=1)
+        with pytest.raises(RuntimeError, match="t0 fails"):
+            PipelinedExecutor(1, 1).run(jobs)
+
+    def test_invalid_worker_counts(self):
+        with pytest.raises(ValueError):
+            PipelinedExecutor(0, 1)
+        with pytest.raises(ValueError):
+            PipelinedExecutor(1, 0)
+
+    def test_pipelining_overlaps_stage_kinds(self, make_jobs):
+        """With delays, prep of a later table runs before infer of an
+        earlier one finishes — i.e. stages of different tables interleave."""
+        jobs, log = make_jobs(4, delay=0.01)
+        PipelinedExecutor(2, 2).run(jobs)
+        names_in_order = [name for name, _ in log]
+        # interleaved: not all of t0's stages happen before t1 starts
+        first_t1 = names_in_order.index("t1")
+        last_t0 = len(names_in_order) - 1 - names_in_order[::-1].index("t0")
+        assert first_t1 < last_t0
+
+    def test_faster_than_sequential_with_io_delays(self, make_jobs):
+        delay = 0.01
+        jobs_seq, _ = make_jobs(6, delay=delay)
+        jobs_pipe, _ = make_jobs(6, delay=delay)
+
+        started = time.perf_counter()
+        SequentialExecutor().run(jobs_seq)
+        sequential_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        PipelinedExecutor(2, 2).run(jobs_pipe)
+        pipelined_time = time.perf_counter() - started
+
+        assert pipelined_time < sequential_time

@@ -1,0 +1,113 @@
+"""Tests for the connection pool."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datagen import TableGenConfig, generate_table
+from repro.db import CloudDatabaseServer, ConnectionPool, CostModel, PoolExhaustedError
+
+FAST = CostModel(time_scale=0.0)
+
+
+@pytest.fixture()
+def server(registry, rng):
+    tables = [
+        generate_table(registry, TableGenConfig(min_rows=5, max_rows=10), rng, i)
+        for i in range(3)
+    ]
+    return CloudDatabaseServer.from_tables(tables, FAST)
+
+
+class TestAcquireRelease:
+    def test_reuse_avoids_new_connections(self, server):
+        pool = ConnectionPool(server, max_size=2)
+        conn = pool.acquire()
+        pool.release(conn)
+        again = pool.acquire()
+        assert again is conn
+        assert server.ledger.connections_opened == 1
+        assert pool.stats.reused == 1
+
+    def test_exhaustion_raises(self, server):
+        pool = ConnectionPool(server, max_size=1)
+        pool.acquire()
+        with pytest.raises(PoolExhaustedError):
+            pool.acquire()
+
+    def test_blocking_acquire_waits_for_release(self, server):
+        pool = ConnectionPool(server, max_size=1)
+        held = pool.acquire()
+
+        def release_soon():
+            pool.release(held)
+
+        timer = threading.Timer(0.02, release_soon)
+        timer.start()
+        conn = pool.acquire(block=True, timeout=1.0)
+        assert conn is held
+        timer.join()
+
+    def test_closed_connection_not_reused(self, server):
+        pool = ConnectionPool(server, max_size=1)
+        conn = pool.acquire()
+        conn.close()
+        pool.release(conn)
+        fresh = pool.acquire()
+        assert fresh is not conn
+        assert server.ledger.connections_opened == 2
+
+    def test_lease_context_manager(self, server):
+        pool = ConnectionPool(server, max_size=1)
+        with pool.lease() as conn:
+            assert conn.list_tables()
+        # released: acquirable again without exhaustion
+        with pool.lease():
+            pass
+        assert pool.stats.reused == 1
+
+    def test_close_drops_idle(self, server):
+        pool = ConnectionPool(server, max_size=2)
+        conn = pool.acquire()
+        pool.release(conn)
+        pool.close()
+        fresh = pool.acquire()
+        assert fresh is not conn
+
+    def test_invalid_size(self, server):
+        with pytest.raises(ValueError):
+            ConnectionPool(server, max_size=0)
+
+
+class TestStats:
+    def test_reuse_ratio(self, server):
+        pool = ConnectionPool(server, max_size=1)
+        for _ in range(4):
+            conn = pool.acquire()
+            pool.release(conn)
+        assert pool.stats.reuse_ratio == pytest.approx(0.75)
+
+    def test_empty_ratio(self, server):
+        assert ConnectionPool(server).stats.reuse_ratio == 0.0
+
+    def test_thread_safety(self, server):
+        pool = ConnectionPool(server, max_size=4)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    with pool.lease() as conn:
+                        conn.list_tables()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert pool.stats.acquired == 200

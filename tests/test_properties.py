@@ -1,0 +1,107 @@
+"""Cross-module property-based tests over randomly generated tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import TableGenConfig, default_registry, generate_table
+from repro.db import Database
+from repro.features import (
+    NUMERIC_FEATURE_DIM,
+    FeatureConfig,
+    Featurizer,
+    collate,
+    offline_metadata,
+)
+from repro.text import Tokenizer
+
+REGISTRY = default_registry()
+TOKENIZER = Tokenizer.train(
+    [t.name for t in REGISTRY]
+    + [name for t in REGISTRY for name in t.clean_names]
+    + ["table data sample text 123-45-6789"],
+    max_size=1500,
+)
+FEATURIZER = Featurizer(TOKENIZER, REGISTRY, FeatureConfig())
+
+
+table_configs = st.builds(
+    TableGenConfig,
+    min_columns=st.just(2),
+    max_columns=st.integers(2, 7),
+    min_rows=st.just(5),
+    max_rows=st.integers(5, 25),
+    ambiguous_name_prob=st.floats(0, 1),
+    abbreviate_prob=st.floats(0, 0.5),
+    comment_prob=st.floats(0, 1),
+    background_fraction=st.floats(0, 1),
+    empty_cell_prob=st.floats(0, 0.5),
+)
+
+
+@given(table_configs, st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_generated_table_roundtrips_through_database(config, seed):
+    table = generate_table(REGISTRY, config, np.random.default_rng(seed), 0)
+    database = Database()
+    database.create_table(table)
+    metadata = database.metadata(table.name)
+    assert len(metadata.columns) == table.num_columns
+    rows = database.read_rows(table.name)
+    assert len(rows) == table.num_rows
+
+
+@given(table_configs, st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_encoding_invariants(config, seed):
+    table = generate_table(REGISTRY, config, np.random.default_rng(seed), 0)
+    encoded = FEATURIZER.encode_offline(table)
+
+    # one [COL] position and one numeric row per column
+    assert len(encoded.meta.col_positions) == table.num_columns
+    assert encoded.numeric.shape == (table.num_columns, NUMERIC_FEATURE_DIM)
+
+    # column ids on metadata tokens are within range
+    assert encoded.meta.column_ids.max() <= table.num_columns
+    assert encoded.meta.column_ids.min() >= 0
+
+    # labels one-hot rows are consistent with ground truth
+    for index, column in enumerate(table.columns):
+        decoded = REGISTRY.vector_to_labels(encoded.labels[index])
+        assert set(decoded) == set(column.types)
+
+    # batching a single table is lossless for the token stream
+    batch = collate([encoded])
+    length = len(encoded.meta.token_ids)
+    assert np.array_equal(batch.meta_ids[0, :length], encoded.meta.token_ids)
+    assert batch.meta_mask[0, :length].all()
+
+
+@given(table_configs, st.integers(0, 10_000), st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_split_metadata_preserves_column_order(config, seed, threshold):
+    from repro.features import split_metadata
+
+    table = generate_table(REGISTRY, config, np.random.default_rng(seed), 0)
+    metadata = offline_metadata(table)
+    chunks = split_metadata(metadata, threshold)
+    rejoined = [c.column_name for chunk in chunks for c in chunk.columns]
+    assert rejoined == [c.name for c in table.columns]
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_statistics_bounds(seed):
+    config = TableGenConfig(min_rows=5, max_rows=30)
+    table = generate_table(REGISTRY, config, np.random.default_rng(seed), 0)
+    metadata = offline_metadata(table, with_histogram=True)
+    for column in metadata.columns:
+        assert 0 <= column.null_fraction <= 1
+        assert 0 <= column.num_distinct <= column.num_rows
+        assert column.avg_length <= column.max_length or column.num_distinct == 0
+        assert abs(sum(column.histogram.fractions) - 1.0) < 1e-6 or (
+            column.histogram.num_distinct == 0
+        )

@@ -1,0 +1,54 @@
+"""Tests for detection result records."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ColumnPrediction, DetectionReport, TableResult
+
+
+def prediction(table: str, column: str, phase: int, types=None) -> ColumnPrediction:
+    return ColumnPrediction(
+        table_name=table,
+        column_name=column,
+        admitted_types=types or [],
+        phase=phase,
+        probabilities=np.zeros(3, dtype=np.float32),
+    )
+
+
+class TestTableResult:
+    def test_num_uncertain_counts_phase2(self):
+        result = TableResult(
+            "t",
+            predictions=[
+                prediction("t", "a", 1),
+                prediction("t", "b", 2),
+                prediction("t", "c", 2),
+            ],
+        )
+        assert result.num_uncertain == 2
+
+
+class TestDetectionReport:
+    def make_report(self):
+        tables = [
+            TableResult("t1", [prediction("t1", "a", 1, ["x"]), prediction("t1", "b", 2)]),
+            TableResult("t2", [prediction("t2", "c", 2, ["y"])]),
+        ]
+        return DetectionReport(tables=tables, wall_seconds=1.0, cost={})
+
+    def test_predictions_flattened(self):
+        assert len(self.make_report().predictions) == 3
+
+    def test_scanned_ratio(self):
+        assert self.make_report().scanned_ratio() == 2 / 3
+
+    def test_scanned_ratio_empty(self):
+        report = DetectionReport(tables=[], wall_seconds=0.0, cost={})
+        assert report.scanned_ratio() == 0.0
+
+    def test_predicted_labels_map(self):
+        labels = self.make_report().predicted_labels()
+        assert labels[("t1", "a")] == ["x"]
+        assert labels[("t1", "b")] == []

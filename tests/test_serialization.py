@@ -1,0 +1,41 @@
+"""Tests for checkpoint save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture()
+def model(rng):
+    return nn.Sequential(nn.Linear(4, 8, rng), nn.ReLU(), nn.Linear(8, 2, rng))
+
+
+class TestCheckpointRoundtrip:
+    def test_roundtrip_restores_weights(self, model, rng, tmp_path):
+        path = nn.save_checkpoint(model, tmp_path / "model.npz")
+        other = nn.Sequential(
+            nn.Linear(4, 8, np.random.default_rng(7)),
+            nn.ReLU(),
+            nn.Linear(8, 2, np.random.default_rng(7)),
+        )
+        nn.load_checkpoint(other, path)
+        x = nn.Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        assert np.allclose(model(x).data, other(x).data)
+
+    def test_load_state_returns_arrays(self, model, tmp_path):
+        path = nn.save_checkpoint(model, tmp_path / "m.npz")
+        state = nn.load_state(path)
+        assert set(state) == set(model.state_dict())
+
+    def test_creates_parent_directories(self, model, tmp_path):
+        path = nn.save_checkpoint(model, tmp_path / "deep" / "nested" / "m.npz")
+        assert path.exists()
+
+    def test_strict_load_rejects_different_architecture(self, model, rng, tmp_path):
+        path = nn.save_checkpoint(model, tmp_path / "m.npz")
+        smaller = nn.Sequential(nn.Linear(4, 8, rng))
+        with pytest.raises(KeyError):
+            nn.load_checkpoint(smaller, path)

@@ -1,0 +1,123 @@
+"""Tests for the Sherlock-like statistical baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (
+    SHERLOCK_FEATURE_DIM,
+    SherlockModel,
+    SherlockTrainConfig,
+    sherlock_features,
+    train_sherlock,
+)
+from repro.datagen import values as V
+
+
+class TestFeatures:
+    def test_dimension_and_bounds(self, rng):
+        features = sherlock_features([V.email(rng) for _ in range(10)])
+        assert features.shape == (SHERLOCK_FEATURE_DIM,)
+        assert np.isfinite(features).all()
+
+    def test_empty_column_is_zero_vector(self):
+        assert np.allclose(sherlock_features([]), 0.0)
+        assert np.allclose(sherlock_features(["", ""]), 0.0)
+
+    def test_digit_columns_have_high_digit_fraction(self, rng):
+        features = sherlock_features([V.zip_code(rng) for _ in range(10)])
+        assert features[0] > 0.9  # digit fraction
+
+    def test_email_pattern_indicator(self, rng):
+        features = sherlock_features([V.email(rng) for _ in range(10)])
+        at_index = SHERLOCK_FEATURE_DIM - 6
+        assert features[at_index] == 1.0
+
+    def test_discriminates_types(self, rng):
+        emails = sherlock_features([V.email(rng) for _ in range(10)])
+        ssns = sherlock_features([V.ssn(rng) for _ in range(10)])
+        assert np.abs(emails - ssns).max() > 0.3
+
+
+class TestModelTraining:
+    def test_learns_to_separate_types(self, registry, rng):
+        """A small Sherlock net separates format-distinct types."""
+        type_names = ["person.email", "person.ssn", "web.ip_address", "time.date"]
+        generators = {
+            "person.email": V.email,
+            "person.ssn": V.ssn,
+            "web.ip_address": V.ip_address,
+            "time.date": V.iso_date,
+        }
+        from repro.datagen import Column, Table
+
+        tables = []
+        for i in range(20):
+            columns = [
+                Column(f"c{j}", "", "varchar",
+                       [generators[name](rng) for _ in range(12)], [name])
+                for j, name in enumerate(type_names)
+            ]
+            tables.append(Table(f"t{i}", "", columns))
+
+        model = SherlockModel(registry.num_labels, hidden_dim=64)
+        history = train_sherlock(
+            model, registry, tables, SherlockTrainConfig(epochs=40, batch_size=16)
+        )
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+        correct = 0
+        for name in type_names:
+            features = sherlock_features([generators[name](rng) for _ in range(12)])
+            with nn.no_grad():
+                logits = model(nn.Tensor(features[None, :])).data[0]
+            predicted = registry.label_names[int(np.argmax(logits))]
+            correct += predicted == name
+        assert correct >= 3
+
+    def test_empty_tables_rejected(self, registry):
+        with pytest.raises(ValueError):
+            train_sherlock(SherlockModel(registry.num_labels), registry, [])
+
+
+class TestCalibrationMetric:
+    def test_perfectly_calibrated(self):
+        from repro.metrics import calibration_report
+
+        rng = np.random.default_rng(0)
+        probs = rng.random(20_000)
+        outcomes = (rng.random(20_000) < probs).astype(float)
+        report = calibration_report(probs, outcomes)
+        assert report.expected_calibration_error < 0.02
+        assert report.num_predictions == 20_000
+
+    def test_overconfident_model_flagged(self):
+        from repro.metrics import calibration_report
+
+        probs = np.full(1000, 0.99)
+        outcomes = np.zeros(1000)
+        report = calibration_report(probs, outcomes)
+        assert report.expected_calibration_error > 0.9
+        assert report.max_calibration_error > 0.9
+
+    def test_bins_cover_unit_interval(self):
+        from repro.metrics import calibration_report
+
+        report = calibration_report(np.array([0.0, 0.5, 1.0]), np.array([0, 1, 1]))
+        assert report.bins[0].lower == 0.0
+        assert report.bins[-1].upper == 1.0
+        assert sum(b.count for b in report.bins) == 3
+
+    def test_shape_mismatch_raises(self):
+        from repro.metrics import calibration_report
+
+        with pytest.raises(ValueError):
+            calibration_report(np.zeros(3), np.zeros(4))
+
+    def test_bad_bins_raise(self):
+        from repro.metrics import calibration_report
+
+        with pytest.raises(ValueError):
+            calibration_report(np.zeros(2), np.zeros(2), num_bins=0)

@@ -1,0 +1,116 @@
+"""Tests for dataset splitting, retained-type tuning and corpora."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import (
+    make_gittables_corpus,
+    make_wikitable_corpus,
+    no_type_ratio,
+    retain_types,
+    split_indices,
+)
+
+
+class TestSplitIndices:
+    @given(st.integers(10, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_is_disjoint_and_complete(self, count):
+        splits = split_indices(count)
+        combined = splits["train"] + splits["validation"] + splits["test"]
+        assert sorted(combined) == list(range(count))
+
+    def test_ratios_respected(self):
+        splits = split_indices(100, ratios=(0.8, 0.1, 0.1))
+        assert len(splits["train"]) == 80
+        assert len(splits["validation"]) == 10
+        assert len(splits["test"]) == 10
+
+    def test_deterministic(self):
+        assert split_indices(50, seed=3) == split_indices(50, seed=3)
+
+    def test_seed_changes_order(self):
+        assert split_indices(50, seed=1) != split_indices(50, seed=2)
+
+    def test_bad_ratios_raise(self):
+        with pytest.raises(ValueError):
+            split_indices(10, ratios=(0.5, 0.1, 0.1))
+
+
+class TestRetainTypes:
+    def test_labels_filtered_to_retained(self, tiny_corpus, registry):
+        tables, reduced = retain_types(tiny_corpus.tables, registry, k=10, seed=0)
+        retained = {t.name for t in reduced}
+        for table in tables:
+            for column in table.columns:
+                assert set(column.types) <= retained
+
+    def test_eta_grows_as_k_shrinks(self, tiny_corpus, registry):
+        etas = []
+        for k in (40, 20, 5):
+            tables, _ = retain_types(tiny_corpus.tables, registry, k=k, seed=0)
+            etas.append(no_type_ratio(tables))
+        assert etas[0] < etas[1] < etas[2]
+
+    def test_content_untouched(self, tiny_corpus, registry):
+        tables, _ = retain_types(tiny_corpus.tables, registry, k=10, seed=0)
+        assert tables[0].columns[0].values == tiny_corpus.tables[0].columns[0].values
+
+    def test_seed_controls_selection(self, tiny_corpus, registry):
+        _, reduced_a = retain_types(tiny_corpus.tables, registry, k=10, seed=0)
+        _, reduced_b = retain_types(tiny_corpus.tables, registry, k=10, seed=1)
+        assert {t.name for t in reduced_a} != {t.name for t in reduced_b}
+
+    def test_invalid_k(self, tiny_corpus, registry):
+        with pytest.raises(ValueError):
+            retain_types(tiny_corpus.tables, registry, k=0)
+        with pytest.raises(ValueError):
+            retain_types(tiny_corpus.tables, registry, k=10_000)
+
+
+class TestNoTypeRatio:
+    def test_empty_tables(self):
+        assert no_type_ratio([]) == 0.0
+
+    def test_fully_labeled_corpus(self, tiny_corpus):
+        assert no_type_ratio(tiny_corpus.tables) == 0.0
+
+
+class TestCorpora:
+    def test_wikitable_fully_labeled(self):
+        corpus = make_wikitable_corpus(20)
+        assert corpus.stats().no_type_ratio == 0.0
+
+    def test_gittables_background_near_target(self):
+        corpus = make_gittables_corpus(60)
+        assert 0.2 < corpus.stats().no_type_ratio < 0.45
+
+    def test_splits_partition_tables(self):
+        corpus = make_wikitable_corpus(30)
+        combined = sum(corpus.splits.values(), [])
+        assert sorted(combined) == list(range(30))
+
+    def test_subset_accessors(self):
+        corpus = make_wikitable_corpus(30)
+        assert len(corpus.train) + len(corpus.validation) + len(corpus.test) == 30
+
+    def test_unknown_split_raises(self):
+        corpus = make_wikitable_corpus(10)
+        with pytest.raises(KeyError):
+            corpus.subset("bogus")
+
+    def test_deterministic_given_seed(self):
+        a = make_wikitable_corpus(10, seed=4)
+        b = make_wikitable_corpus(10, seed=4)
+        assert [t.name for t in a.tables] == [t.name for t in b.tables]
+        assert a.tables[3].columns[0].values == b.tables[3].columns[0].values
+
+    def test_stats_per_split(self):
+        corpus = make_gittables_corpus(40)
+        stats = corpus.stats("test")
+        assert stats.num_tables == len(corpus.test)
+        assert stats.num_columns == sum(t.num_columns for t in corpus.test)

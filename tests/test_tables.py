@@ -1,0 +1,125 @@
+"""Tests for table generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import TableGenConfig, Table, default_registry, generate_table
+from repro.datagen.noise import abbreviate, cryptic_name, maybe_abbreviate
+
+
+class TestNoise:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("customer", "cstmr"), ("name", "nm"), ("id", "id"), ("zip", "zip")],
+    )
+    def test_abbreviate(self, word, expected):
+        assert abbreviate(word) == expected
+
+    def test_maybe_abbreviate_prob_zero_is_identity(self, rng):
+        assert maybe_abbreviate("customer_name", rng, 0.0) == "customer_name"
+
+    def test_maybe_abbreviate_prob_one_strips_all(self, rng):
+        assert maybe_abbreviate("customer_name", rng, 1.0) == "cstmr_nm"
+
+    def test_cryptic_name_format(self, rng):
+        for _ in range(10):
+            name = cryptic_name(rng)
+            assert any(name.startswith(p) for p in ("f", "c", "attr", "field", "x"))
+
+
+class TestGenerateTable:
+    def test_column_and_row_ranges(self, registry, rng):
+        config = TableGenConfig(min_columns=3, max_columns=5, min_rows=10, max_rows=12)
+        for i in range(10):
+            table = generate_table(registry, config, rng, i)
+            assert 3 <= table.num_columns <= 5
+            assert 10 <= table.num_rows <= 12
+
+    def test_column_names_unique(self, registry, rng):
+        config = TableGenConfig(min_columns=8, max_columns=8, ambiguous_name_prob=1.0)
+        for i in range(10):
+            table = generate_table(registry, config, rng, i)
+            names = [c.name for c in table.columns]
+            assert len(names) == len(set(names))
+
+    def test_background_fraction_respected(self, registry, rng):
+        config = TableGenConfig(background_fraction=1.0)
+        table = generate_table(registry, config, rng, 0)
+        assert all(not c.types for c in table.columns)
+
+    def test_no_background_when_fraction_zero(self, registry, rng):
+        config = TableGenConfig(background_fraction=0.0)
+        table = generate_table(registry, config, rng, 0)
+        assert all(c.types for c in table.columns)
+
+    def test_multi_label_parents_included(self, registry, rng):
+        config = TableGenConfig(min_columns=8, max_columns=8, multi_label=True)
+        found_parent = False
+        for i in range(30):
+            table = generate_table(registry, config, rng, i)
+            for column in table.columns:
+                if len(column.types) > 1:
+                    child = registry.get(column.types[0])
+                    assert set(column.types[1:]) == set(child.parents)
+                    found_parent = True
+        assert found_parent
+
+    def test_multi_label_disabled(self, registry, rng):
+        config = TableGenConfig(multi_label=False)
+        for i in range(10):
+            table = generate_table(registry, config, rng, i)
+            assert all(len(c.types) <= 1 for c in table.columns)
+
+    def test_types_unique_within_table(self, registry, rng):
+        config = TableGenConfig(min_columns=8, max_columns=8, background_fraction=0.0)
+        for i in range(10):
+            table = generate_table(registry, config, rng, i)
+            primary = [c.types[0] for c in table.columns if c.types]
+            assert len(primary) == len(set(primary))
+
+    def test_empty_cell_probability(self, registry):
+        config = TableGenConfig(empty_cell_prob=0.5, min_rows=200, max_rows=200)
+        table = generate_table(registry, config, np.random.default_rng(0), 0)
+        empties = sum(1 for c in table.columns for v in c.values if not v)
+        total = sum(len(c.values) for c in table.columns)
+        assert 0.4 < empties / total < 0.6
+
+    def test_deterministic_given_rng_state(self, registry):
+        a = generate_table(registry, TableGenConfig(), np.random.default_rng(5), 0)
+        b = generate_table(registry, TableGenConfig(), np.random.default_rng(5), 0)
+        assert a.name == b.name
+        assert [c.name for c in a.columns] == [c.name for c in b.columns]
+        assert a.columns[0].values == b.columns[0].values
+
+
+class TestColumn:
+    def test_non_empty_values_limit(self, registry, rng):
+        config = TableGenConfig(empty_cell_prob=0.3, min_rows=50, max_rows=50)
+        table = generate_table(registry, config, rng, 0)
+        column = table.columns[0]
+        values = column.non_empty_values(limit=5)
+        assert len(values) <= 5
+        assert all(values)
+
+
+class TestTableSplit:
+    def test_split_chunk_sizes(self, sample_table):
+        wide = Table("wide", "c", sample_table.columns * 4)
+        chunks = wide.split(5)
+        assert sum(c.num_columns for c in chunks) == wide.num_columns
+        assert all(c.num_columns <= 5 for c in chunks)
+
+    def test_split_preserves_table_metadata(self, sample_table):
+        wide = Table("wide", "the comment", sample_table.columns * 3)
+        for chunk in wide.split(4):
+            assert chunk.name == "wide"
+            assert chunk.comment == "the comment"
+
+    def test_narrow_table_not_split(self, sample_table):
+        assert sample_table.split(100) == [sample_table]
+
+    def test_invalid_threshold(self, sample_table):
+        with pytest.raises(ValueError):
+            sample_table.split(0)

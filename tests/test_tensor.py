@@ -1,0 +1,237 @@
+"""Unit and property-based tests for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, no_grad
+from repro.nn.tensor import _unbroadcast, is_grad_enabled
+
+
+def numeric_grad(fn, x: np.ndarray, index, eps: float = 1e-3) -> float:
+    xp = x.copy()
+    xp[index] += eps
+    xm = x.copy()
+    xm[index] -= eps
+    return (fn(xp) - fn(xm)) / (2 * eps)
+
+
+small_arrays = arrays(
+    np.float32,
+    st.tuples(st.integers(1, 3), st.integers(1, 4)),
+    elements=st.floats(-2.0, 2.0, width=32),
+)
+
+
+class TestBasics:
+    def test_construction_converts_dtype(self):
+        t = Tensor(np.array([1.0, 2.0], dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3) and t.ndim == 2 and t.size == 6
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(np.zeros(2), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.zeros(2)))
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = (t * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_item(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+
+    def test_zeros_ones_factories(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert float(Tensor.ones(2).data.sum()) == 2.0
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)) is g
+
+    def test_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_size_one_axis(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.allclose(out, 3.0)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_mul(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4.0, 5.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (5.0 - a).backward()
+        assert np.allclose(a.grad, -1.0)
+
+    def test_div(self):
+        a = Tensor(np.array([6.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, 0.5)
+        assert np.allclose(b.grad, -1.5)
+
+    def test_pow(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (a**2).backward()
+        assert np.allclose(a.grad, 6.0)
+
+    def test_neg(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (-a).backward()
+        assert np.allclose(a.grad, -1.0)
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, b.data.sum(axis=1))
+        assert np.allclose(b.grad, a.data.sum(axis=0)[:, None])
+
+    def test_batched_matmul(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        b = Tensor(np.ones((2, 4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert np.allclose(a.grad, 5.0)
+
+    def test_reuse_accumulates(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a).backward()
+        assert np.allclose(a.grad, 4.0)
+
+    @given(small_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_mul_gradient_matches_numeric(self, x):
+        w = np.linspace(0.5, 1.5, x.size).reshape(x.shape).astype(np.float32)
+        t = Tensor(x, requires_grad=True)
+        ((t * Tensor(w)) * (t * 0.5 + 1.0)).sum().backward()
+        index = tuple(0 for _ in x.shape)
+        num = numeric_grad(
+            lambda v: float(((v * w) * (v * 0.5 + 1.0)).sum()), x.astype(np.float64), index
+        )
+        assert t.grad[index] == pytest.approx(num, rel=1e-2, abs=1e-2)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        a = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        out = a.transpose(0, 1)
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_getitem_slice(self):
+        a = Tensor(np.arange(10, dtype=np.float32), requires_grad=True)
+        a[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_advanced_repeated_index(self):
+        a = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+        a[np.array([1, 1, 2])].sum().backward()
+        assert np.allclose(a.grad, [0.0, 2.0, 1.0, 0.0])
+
+    def test_cat_gradients_split_correctly(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = Tensor.cat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * Tensor(np.arange(5, dtype=np.float32))).sum().backward()
+        assert np.allclose(a.grad, [[0, 1], [0, 1]])
+        assert np.allclose(b.grad, [[2, 3, 4], [2, 3, 4]])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_mean(self):
+        a = Tensor(np.ones((2, 4)), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, 1.0 / 8)
+
+    def test_mean_axis(self):
+        a = Tensor(np.ones((2, 4)), requires_grad=True)
+        a.mean(axis=1).sum().backward()
+        assert np.allclose(a.grad, 0.25)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "op,derivative",
+        [
+            ("exp", lambda x: np.exp(x)),
+            ("log", lambda x: 1.0 / x),
+            ("sqrt", lambda x: 0.5 / np.sqrt(x)),
+            ("tanh", lambda x: 1 - np.tanh(x) ** 2),
+            ("sigmoid", lambda x: (s := 1 / (1 + np.exp(-x))) * (1 - s)),
+        ],
+    )
+    def test_unary_gradients(self, op, derivative):
+        x = np.array([0.5, 1.0, 2.0], dtype=np.float32)
+        t = Tensor(x, requires_grad=True)
+        getattr(t, op)().sum().backward()
+        assert np.allclose(t.grad, derivative(x), rtol=1e-4)
+
+    def test_relu_gradient(self):
+        t = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        t.relu().sum().backward()
+        assert np.allclose(t.grad, [0.0, 0.0, 1.0])

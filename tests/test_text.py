@@ -1,0 +1,122 @@
+"""Tests for normalization, vocabulary and tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import PAD, SPECIAL_TOKENS, Tokenizer, Vocab, normalize
+
+
+class TestSplitIdentifier:
+    @pytest.mark.parametrize(
+        "identifier,expected",
+        [
+            ("custEmailAddr", ["cust", "email", "addr"]),
+            ("snake_case_name", ["snake", "case", "name"]),
+            ("kebab-case", ["kebab", "case"]),
+            ("HTTPServer", ["http", "server"]),
+            ("top10items", ["top", "10", "items"]),
+            ("", []),
+            ("___", []),
+        ],
+    )
+    def test_cases(self, identifier, expected):
+        assert normalize.split_identifier(identifier) == expected
+
+
+class TestWordTokens:
+    def test_digit_runs_become_shape_tokens(self):
+        assert normalize.word_tokens("4111 1111") == ["<d4>", "<d4>"]
+
+    def test_long_digit_runs_bucketed(self):
+        assert normalize.word_tokens("123456789012") == ["<d8>"]
+
+    def test_punct_kept_when_requested(self):
+        tokens = normalize.word_tokens("a@b.c", keep_punct=True)
+        assert "@" in tokens and "." in tokens
+
+    def test_punct_dropped_by_default(self):
+        assert "@" not in normalize.word_tokens("a@b.c")
+
+    def test_lowercases(self):
+        assert normalize.word_tokens("Hello WORLD") == ["hello", "world"]
+
+    def test_ssn_shape(self):
+        assert normalize.word_tokens("123-45-6789", keep_punct=True) == [
+            "<d3>", "-", "<d2>", "-", "<d4>",
+        ]
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_never_raises_and_returns_strings(self, text):
+        tokens = normalize.word_tokens(text, keep_punct=True)
+        assert all(isinstance(token, str) and token for token in tokens)
+
+
+class TestVocab:
+    def test_specials_are_first(self):
+        vocab = Vocab()
+        assert tuple(vocab.id_to_token(i) for i in range(len(SPECIAL_TOKENS))) == SPECIAL_TOKENS
+        assert vocab.pad_id == 0
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocab(["hello"])
+        assert vocab.token_to_id("nope") == vocab.unk_id
+
+    def test_build_respects_max_size_and_frequency(self):
+        streams = [["a", "a", "a", "b", "b", "c"]]
+        vocab = Vocab.build(streams, max_size=len(SPECIAL_TOKENS) + 2, min_freq=2)
+        assert "a" in vocab and "b" in vocab and "c" not in vocab
+
+    def test_save_load_roundtrip(self, tmp_path):
+        vocab = Vocab(["alpha", "beta"])
+        path = vocab.save(tmp_path / "vocab.txt")
+        loaded = Vocab.load(path)
+        assert len(loaded) == len(vocab)
+        assert loaded.token_to_id("beta") == vocab.token_to_id("beta")
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("not\na\nvocab\n")
+        with pytest.raises(ValueError):
+            Vocab.load(path)
+
+    def test_contains(self):
+        vocab = Vocab(["x"])
+        assert "x" in vocab and PAD in vocab and "y" not in vocab
+
+
+class TestTokenizer:
+    @pytest.fixture()
+    def tokenizer(self):
+        texts = ["customer email address", "phone number", "order date"] * 3
+        return Tokenizer.train(texts, max_size=64)
+
+    def test_known_words_kept_whole(self, tokenizer):
+        assert tokenizer.tokenize("email phone") == ["email", "phone"]
+
+    def test_unknown_words_fall_back_to_pieces(self, tokenizer):
+        tokens = tokenizer.tokenize("cryptographic")
+        assert len(tokens) > 1
+        assert tokens[1].startswith("##")
+
+    def test_encode_truncates(self, tokenizer):
+        ids = tokenizer.encode("customer email address phone number", max_len=2)
+        assert len(ids) == 2
+
+    def test_encode_decode_roundtrip_for_known(self, tokenizer):
+        ids = tokenizer.encode("email phone")
+        assert tokenizer.decode(ids) == ["email", "phone"]
+
+    def test_len_matches_vocab(self, tokenizer):
+        assert len(tokenizer) == len(tokenizer.vocab)
+
+    def test_shape_tokens_survive_training(self):
+        tokenizer = Tokenizer.train(["123-45-6789"] * 3, max_size=32)
+        tokens = tokenizer.tokenize("999-11-2222", keep_punct=True)
+        assert tokens == ["<d3>", "-", "<d2>", "-", "<d4>"]
+        assert tokenizer.vocab.unk_id not in tokenizer.encode(
+            "999-11-2222", keep_punct=True
+        )

@@ -1,0 +1,88 @@
+"""Tests for the (alpha, beta) threshold policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ThresholdPolicy
+
+
+class TestValidation:
+    def test_valid_range(self):
+        ThresholdPolicy(0.1, 0.9)
+        ThresholdPolicy(0.5, 0.5)
+        ThresholdPolicy(0.0, 1.0)
+
+    def test_alpha_above_beta_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0.9, 0.1)
+
+    def test_out_of_unit_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0.1, 1.5)
+
+    def test_bad_phase2_admit(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0.1, 0.9, phase2_admit=2.0)
+
+
+class TestMasks:
+    def test_admitted_mask(self):
+        policy = ThresholdPolicy(0.1, 0.9)
+        probs = np.array([0.95, 0.9, 0.5, 0.05])
+        assert policy.admitted_mask(probs).tolist() == [True, True, False, False]
+
+    def test_uncertain_band_is_open_interval(self):
+        policy = ThresholdPolicy(0.1, 0.9)
+        probs = np.array([0.1, 0.100001, 0.899999, 0.9])
+        assert policy.uncertain_mask(probs).tolist() == [False, True, True, False]
+
+    def test_uncertain_columns_indices(self):
+        policy = ThresholdPolicy(0.1, 0.9)
+        probs = np.array([
+            [0.95, 0.01],   # certain
+            [0.5, 0.01],    # uncertain
+            [0.05, 0.02],   # certain (all low)
+        ])
+        assert policy.uncertain_columns(probs).tolist() == [1]
+
+    def test_phase2_admitted_mask(self):
+        policy = ThresholdPolicy(0.1, 0.9, phase2_admit=0.5)
+        assert policy.phase2_admitted_mask(np.array([0.6, 0.4])).tolist() == [True, False]
+
+
+class TestPrivacyMode:
+    def test_alpha_equals_beta_disables_phase2(self):
+        policy = ThresholdPolicy.privacy_mode()
+        assert not policy.phase2_enabled
+        probs = np.random.default_rng(0).random((10, 5))
+        assert policy.uncertain_columns(probs).size == 0
+
+    def test_custom_level(self):
+        policy = ThresholdPolicy.privacy_mode(0.7)
+        assert policy.alpha == policy.beta == 0.7
+
+
+@given(
+    st.floats(0, 1),
+    st.floats(0, 1),
+    st.lists(st.floats(0, 1), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_band_partition_property(a, b, probs):
+    """Every probability is exactly one of: irrelevant, uncertain, admitted."""
+    alpha, beta = min(a, b), max(a, b)
+    policy = ThresholdPolicy(alpha, beta)
+    probs = np.array(probs)
+    admitted = policy.admitted_mask(probs)
+    uncertain = policy.uncertain_mask(probs)
+    irrelevant = probs <= alpha
+    coverage = admitted.astype(int) + uncertain.astype(int) + irrelevant.astype(int)
+    assert (coverage >= 1).all()
+    # admitted and uncertain never overlap
+    assert not (admitted & uncertain).any()

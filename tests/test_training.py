@@ -1,0 +1,134 @@
+"""Tests for fine-tuning and MLM pre-training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ADTDConfig,
+    ADTDModel,
+    PretrainConfig,
+    TrainConfig,
+    fine_tune,
+    pretrain_mlm,
+)
+from repro.core.pretraining import _apply_mlm_mask
+from repro.core.training import encode_training_tables, task_losses
+from repro.features import collate
+
+
+@pytest.fixture()
+def fresh_model(tiny_encoder, tiny_corpus):
+    return ADTDModel(
+        ADTDConfig(tiny_encoder, num_labels=tiny_corpus.registry.num_labels), seed=3
+    )
+
+
+class TestFineTune:
+    def test_loss_decreases(self, fresh_model, featurizer, tiny_corpus):
+        history = fine_tune(
+            fresh_model,
+            featurizer,
+            tiny_corpus.train[:10],
+            TrainConfig(epochs=4, batch_size=4, learning_rate=3e-3),
+        )
+        assert len(history.epoch_losses) == 4
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+        assert history.seconds > 0
+
+    def test_model_left_in_eval_mode(self, fresh_model, featurizer, tiny_corpus):
+        fine_tune(
+            fresh_model, featurizer, tiny_corpus.train[:4], TrainConfig(epochs=1)
+        )
+        assert not fresh_model.training
+
+    def test_empty_tables_raises(self, fresh_model, featurizer):
+        with pytest.raises(ValueError):
+            fine_tune(fresh_model, featurizer, [], TrainConfig(epochs=1))
+
+    def test_histories_track_both_tasks(self, fresh_model, featurizer, tiny_corpus):
+        history = fine_tune(
+            fresh_model, featurizer, tiny_corpus.train[:6], TrainConfig(epochs=2)
+        )
+        assert len(history.meta_losses) == 2
+        assert len(history.content_losses) == 2
+
+
+class TestTaskLosses:
+    def test_requires_labels(self, fresh_model, featurizer, tiny_corpus):
+        encoded = [
+            featurizer.encode_offline(tiny_corpus.tables[0], with_labels=False)
+        ]
+        with pytest.raises(ValueError):
+            task_losses(fresh_model, collate(encoded))
+
+    def test_returns_two_scalars(self, fresh_model, featurizer, tiny_corpus):
+        encoded = [featurizer.encode_offline(t) for t in tiny_corpus.tables[:2]]
+        meta_loss, content_loss = task_losses(fresh_model, collate(encoded))
+        assert meta_loss.size == 1 and content_loss.size == 1
+        assert float(meta_loss.data) > 0
+
+
+class TestEncodeTrainingTables:
+    def test_wide_tables_split(self, featurizer, tiny_corpus):
+        from dataclasses import replace
+
+        from repro.datagen import Table
+
+        base = tiny_corpus.tables[0].columns
+        columns = [
+            replace(column, name=f"{column.name}_{i}")
+            for i in range(6)
+            for column in base
+        ]
+        wide = Table("wide", "", columns)
+        encoded = encode_training_tables(featurizer, [wide])
+        threshold = featurizer.config.column_split_threshold
+        assert len(encoded) > 1
+        assert all(e.num_columns <= threshold for e in encoded)
+
+
+class TestMLMMask:
+    def test_mask_proportion_and_targets(self):
+        rng = np.random.default_rng(0)
+        ids = rng.integers(7, 100, (20, 50))
+        padding = np.ones((20, 50), dtype=bool)
+        corrupted, targets, mask = _apply_mlm_mask(
+            ids, padding, vocab_size=100, mask_id=4, num_special=7,
+            mask_prob=0.15, rng=rng,
+        )
+        assert np.array_equal(targets, ids)
+        assert 0.10 < mask.mean() < 0.20
+        # corrupted differs from original only at selected positions
+        changed = corrupted != ids
+        assert (mask[changed] == 1).all()
+
+    def test_padding_never_selected(self):
+        rng = np.random.default_rng(0)
+        ids = np.full((4, 10), 50)
+        padding = np.zeros((4, 10), dtype=bool)
+        _, _, mask = _apply_mlm_mask(ids, padding, 100, 4, 7, 0.5, rng)
+        assert mask.sum() == 0
+
+    def test_special_tokens_never_selected(self):
+        rng = np.random.default_rng(0)
+        ids = np.zeros((4, 10), dtype=np.int64)  # all [PAD]-id tokens
+        padding = np.ones((4, 10), dtype=bool)
+        _, _, mask = _apply_mlm_mask(ids, padding, 100, 4, 7, 0.9, rng)
+        assert mask.sum() == 0
+
+
+class TestPretrain:
+    def test_mlm_loss_decreases(self, fresh_model, featurizer, tiny_corpus):
+        history = pretrain_mlm(
+            fresh_model,
+            featurizer,
+            tiny_corpus.train[:8],
+            PretrainConfig(epochs=3, batch_size=4),
+        )
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_empty_tables_raises(self, fresh_model, featurizer):
+        with pytest.raises(ValueError):
+            pretrain_mlm(fresh_model, featurizer, [], PretrainConfig(epochs=1))

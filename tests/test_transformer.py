@@ -1,0 +1,77 @@
+"""Tests for Transformer blocks and encoder stacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+@pytest.fixture()
+def config(rng):
+    return nn.EncoderConfig(
+        num_layers=2, num_heads=2, hidden_size=8, intermediate_size=16,
+        max_seq_len=64, vocab_size=50, dropout_p=0.0,
+    )
+
+
+@pytest.fixture()
+def block(config, rng):
+    return nn.TransformerBlock(config, rng)
+
+
+@pytest.fixture()
+def encoder(config, rng):
+    return nn.TransformerEncoder(config, rng)
+
+
+class TestEncoderConfig:
+    def test_paper_config_matches_tinybert(self):
+        paper = nn.EncoderConfig.paper()
+        assert (paper.num_layers, paper.num_heads) == (4, 12)
+        assert (paper.hidden_size, paper.intermediate_size) == (312, 1200)
+        assert paper.max_seq_len == 512
+
+
+class TestBlock:
+    def test_self_attention_shape(self, block, rng):
+        x = nn.Tensor(rng.standard_normal((2, 5, 8)).astype(np.float32))
+        assert block(x).shape == (2, 5, 8)
+
+    def test_tqkv_form_uses_query_length(self, block, rng):
+        q = nn.Tensor(rng.standard_normal((2, 3, 8)).astype(np.float32))
+        kv = nn.Tensor(rng.standard_normal((2, 10, 8)).astype(np.float32))
+        assert block(q, kv).shape == (2, 3, 8)
+
+    def test_shared_parameters_both_call_forms(self, block, rng):
+        """The same block instance serves both towers (shared weights)."""
+        x = nn.Tensor(rng.standard_normal((1, 4, 8)).astype(np.float32))
+        self_out = block(x)
+        cross_out = block(x, x)
+        assert np.allclose(self_out.data, cross_out.data, atol=1e-6)
+
+
+class TestEncoder:
+    def test_forward_shape(self, encoder, rng):
+        x = nn.Tensor(rng.standard_normal((2, 6, 8)).astype(np.float32))
+        assert encoder(x).shape == (2, 6, 8)
+
+    def test_layer_outputs_count_and_chain(self, encoder, rng):
+        x = nn.Tensor(rng.standard_normal((1, 4, 8)).astype(np.float32))
+        outputs = encoder.forward_with_layer_outputs(x)
+        assert len(outputs) == encoder.config.num_layers + 1
+        assert outputs[0] is x
+        # The final layer output equals the plain forward result.
+        assert np.allclose(outputs[-1].data, encoder(x).data, atol=1e-6)
+
+    def test_mask_respected_through_stack(self, encoder, rng):
+        a = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        b = a.copy()
+        b[0, 3] = 7.0
+        mask = F.additive_attention_mask(np.array([[True, True, True, False]]))
+        out_a = encoder(nn.Tensor(a), attention_mask=mask)
+        out_b = encoder(nn.Tensor(b), attention_mask=mask)
+        # Unmasked positions must not be affected by the masked position.
+        assert np.allclose(out_a.data[0, :3], out_b.data[0, :3], atol=1e-5)

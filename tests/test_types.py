@@ -1,0 +1,97 @@
+"""Tests for the semantic type registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import BACKGROUND, SemanticType, TypeRegistry, default_registry
+from repro.datagen import values as V
+
+
+class TestDefaultRegistry:
+    def test_size_and_uniqueness(self, registry):
+        names = [t.name for t in registry]
+        assert len(names) == len(set(names))
+        assert len(registry) >= 50
+
+    def test_parents_exist(self, registry):
+        for semantic_type in registry:
+            for parent in semantic_type.parents:
+                assert parent in registry
+
+    def test_every_type_has_clean_names_and_generator(self, registry, rng):
+        for semantic_type in registry:
+            assert semantic_type.clean_names
+            value = semantic_type.generator(rng)
+            assert isinstance(value, str) and value
+
+    def test_raw_types_are_known(self, registry):
+        allowed = {"int", "float", "varchar", "date", "bool"}
+        assert {t.raw_type for t in registry} <= allowed
+
+    def test_background_is_last_label(self, registry):
+        assert registry.label_names[-1] == BACKGROUND
+        assert registry.num_labels == len(registry) + 1
+
+
+class TestLabelVectors:
+    def test_roundtrip(self, registry):
+        names = ["person.email", "contact.point"]
+        vector = registry.labels_to_vector(names)
+        assert set(registry.vector_to_labels(vector)) == set(names)
+
+    def test_empty_maps_to_background(self, registry):
+        vector = registry.labels_to_vector([])
+        assert vector[registry.label_id(BACKGROUND)] == 1.0
+        assert vector.sum() == 1.0
+        # and background is hidden from the decoded labels
+        assert registry.vector_to_labels(vector) == []
+
+    def test_unknown_type_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.labels_to_vector(["no.such.type"])
+
+    def test_threshold_respected(self, registry):
+        vector = np.zeros(registry.num_labels, dtype=np.float32)
+        vector[registry.label_id("geo.city")] = 0.6
+        assert registry.vector_to_labels(vector, threshold=0.5) == ["geo.city"]
+        assert registry.vector_to_labels(vector, threshold=0.7) == []
+
+
+class TestSubset:
+    def test_subset_keeps_parents(self, registry):
+        sub = registry.subset(["geo.city"])
+        assert "geo.city" in sub
+        assert "geo.location" in sub  # parent retained
+
+    def test_subset_label_space_shrinks(self, registry):
+        sub = registry.subset(["person.age", "misc.color"])
+        assert sub.num_labels < registry.num_labels
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        t = SemanticType("x.y", "x", "int", V.age, clean_names=("y",))
+        with pytest.raises(ValueError):
+            TypeRegistry([t, t])
+
+    def test_unknown_parent_rejected(self):
+        t = SemanticType("x.y", "x", "int", V.age, clean_names=("y",), parents=("ghost",))
+        with pytest.raises(ValueError):
+            TypeRegistry([t])
+
+
+class TestAmbiguityWeights:
+    def test_weights_in_unit_interval(self, registry):
+        for semantic_type in registry:
+            assert 0.0 <= semantic_type.ambiguity_weight <= 1.0
+
+    def test_each_pool_has_a_dominant_type(self, registry):
+        """Every ambiguity pool keeps at least one full-weight member."""
+        pools: dict[str, list[float]] = {}
+        for semantic_type in registry:
+            for name in semantic_type.ambiguous_names:
+                pools.setdefault(name, []).append(semantic_type.ambiguity_weight)
+        for name, weights in pools.items():
+            assert max(weights) >= 0.5, f"pool word {name!r} has no dominant type"

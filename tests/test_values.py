@@ -1,0 +1,102 @@
+"""Tests for the synthetic value generators."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import values as V
+
+
+@pytest.fixture()
+def gen_rng():
+    return np.random.default_rng(42)
+
+
+class TestLuhn:
+    def test_generated_cards_are_luhn_valid(self, gen_rng):
+        for _ in range(50):
+            assert V.is_luhn_valid(V.credit_card(gen_rng))
+
+    def test_corrupted_card_fails(self, gen_rng):
+        card = V.credit_card(gen_rng).replace("-", "").replace(" ", "")
+        digit = int(card[5])
+        corrupted = card[:5] + str((digit + 1) % 10) + card[6:]
+        assert not V.is_luhn_valid(corrupted)
+
+    def test_checksum_digit_roundtrip(self):
+        partial = "411111111111111"
+        full = partial + V.luhn_checksum_digit(partial)
+        assert V.is_luhn_valid(full)
+
+    def test_is_luhn_valid_rejects_short(self):
+        assert not V.is_luhn_valid("4")
+        assert not V.is_luhn_valid("")
+
+    @given(st.integers(0, 10**14))
+    @settings(max_examples=30, deadline=None)
+    def test_checksum_always_valid(self, number):
+        partial = str(number)
+        assert V.is_luhn_valid(partial + V.luhn_checksum_digit(partial))
+
+
+FORMATS = {
+    V.ssn: r"^\d{3}-\d{2}-\d{4}$",
+    V.email: r"^[\w.]+@[\w.]+$",
+    V.iso_date: r"^\d{4}-\d{2}-\d{2}$",
+    V.timestamp: r"^\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}$",
+    V.ip_address: r"^\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}$",
+    V.mac_address: r"^([0-9a-f]{2}:){5}[0-9a-f]{2}$",
+    V.uuid4: r"^[0-9a-f-]{36}$",
+    V.zip_code: r"^\d{5}$",
+    V.isbn: r"^978-\d-\d{4}-\d{4}-\d$",
+    V.semantic_version: r"^\d+\.\d+\.\d+$",
+    V.sku: r"^[A-Z]{2}-\d{4}$",
+    V.order_id: r"^ORD-\d{6}$",
+    V.license_plate: r"^[A-Z]{3}-\d{4}$",
+    V.passport_number: r"^[A-Z]\d{8}$",
+    V.url: r"^https://www\.",
+    V.file_path: r"^/",
+}
+
+
+class TestFormats:
+    @pytest.mark.parametrize("generator", list(FORMATS), ids=lambda g: g.__name__)
+    def test_format(self, generator, gen_rng):
+        pattern = re.compile(FORMATS[generator])
+        for _ in range(20):
+            value = generator(gen_rng)
+            assert pattern.match(value), value
+
+    def test_latitude_range(self, gen_rng):
+        for _ in range(20):
+            assert -90 <= float(V.latitude(gen_rng)) <= 90
+
+    def test_longitude_range(self, gen_rng):
+        for _ in range(20):
+            assert -180 <= float(V.longitude(gen_rng)) <= 180
+
+    def test_age_range(self, gen_rng):
+        for _ in range(20):
+            assert 18 <= int(V.age(gen_rng)) < 95
+
+    def test_city_from_list(self, gen_rng):
+        assert V.city(gen_rng) in V.CITIES
+
+    def test_country_code_length(self, gen_rng):
+        assert len(V.country_code(gen_rng)) == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_values(self):
+        a = [V.full_name(np.random.default_rng(7)) for _ in range(1)]
+        b = [V.full_name(np.random.default_rng(7)) for _ in range(1)]
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        values = {V.uuid4(np.random.default_rng(seed)) for seed in range(10)}
+        assert len(values) == 10
