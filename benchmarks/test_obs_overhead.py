@@ -1,0 +1,99 @@
+"""Guard: disabled-tracer instrumentation must cost < 5% on a detection run.
+
+The observability layer is default-on, so its *disabled* path — the one
+production timing runs and the Fig. 4 benchmark measure — has to be
+indistinguishable from uninstrumented code. This test times a small
+pipelined detection run twice:
+
+* **baseline** — instrumentation short-circuited end to end
+  (``Tracer(enabled=False)`` + the no-op ``NULL_METRICS`` registry and a
+  null-metrics cost ledger), i.e. the untraced fast path;
+* **treatment** — the same run with the disabled tracer but metrics left
+  at their defaults (the process-global registry), i.e. what every
+  un-configured caller gets.
+
+Both are measured as the min over several interleaved repetitions (min is
+the standard low-noise estimator for "how fast can this go"), and the
+whole comparison retries a few times before failing so scheduler noise
+cannot fail the tier-1 suite spuriously.
+
+Unlike the rest of ``benchmarks/``, this file is wired into the tier-1
+pytest invocation (see ``testpaths`` in ``pyproject.toml``): it needs no
+trained checkpoints and runs in a few seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import nn
+from repro.core import ADTDConfig, ADTDModel, TasteDetector, ThresholdPolicy
+from repro.db import CloudDatabaseServer, CostModel
+from repro.features import FeatureConfig, Featurizer, corpus_texts
+from repro.datagen import make_wikitable_corpus
+from repro.obs import NULL_METRICS, Tracer
+from repro.text import Tokenizer
+
+MAX_OVERHEAD = 0.05
+REPEATS = 5
+ATTEMPTS = 3
+
+
+def _bundle():
+    """A tiny untrained detector setup (no checkpoints, trains nothing)."""
+    corpus = make_wikitable_corpus(num_tables=40)
+    tokenizer = Tokenizer.train(corpus_texts(corpus.tables), max_size=800)
+    encoder = nn.EncoderConfig(
+        num_layers=1,
+        num_heads=2,
+        hidden_size=32,
+        intermediate_size=64,
+        max_seq_len=512,
+        vocab_size=len(tokenizer),
+        dropout_p=0.0,
+    )
+    model = ADTDModel(
+        ADTDConfig(encoder, num_labels=corpus.registry.num_labels), seed=0
+    )
+    featurizer = Featurizer(tokenizer, corpus.registry, FeatureConfig())
+    return model, featurizer, corpus
+
+
+def _run_once(model, featurizer, tables, metrics) -> float:
+    server = CloudDatabaseServer.from_tables(
+        tables, CostModel(time_scale=0.0), metrics=metrics
+    )
+    detector = TasteDetector(
+        model,
+        featurizer,
+        ThresholdPolicy(0.1, 0.9),
+        pipelined=True,
+        tracer=Tracer(enabled=False),
+        metrics=metrics,
+    )
+    started = time.perf_counter()
+    detector.detect(server)
+    return time.perf_counter() - started
+
+
+def test_disabled_tracer_overhead_under_5_percent():
+    model, featurizer, corpus = _bundle()
+    tables = corpus.test
+    assert len(tables) >= 4
+    # Warm-up: JIT nothing, but fault in numpy buffers and caches.
+    _run_once(model, featurizer, tables, NULL_METRICS)
+
+    last = None
+    for _ in range(ATTEMPTS):
+        baseline = []  # fully short-circuited instrumentation
+        treatment = []  # disabled tracer, default-on metrics
+        for _ in range(REPEATS):
+            baseline.append(_run_once(model, featurizer, tables, NULL_METRICS))
+            treatment.append(_run_once(model, featurizer, tables, None))
+        last = (min(treatment), min(baseline))
+        if min(treatment) <= min(baseline) * (1.0 + MAX_OVERHEAD):
+            return
+    raise AssertionError(
+        f"disabled-tracer run {last[0]:.4f}s exceeds untraced baseline "
+        f"{last[1]:.4f}s by more than {MAX_OVERHEAD:.0%}"
+    )

@@ -20,11 +20,14 @@ Subpackages
     TURL-like, Doduo-like, regex and dictionary baselines.
 ``repro.metrics``
     F1 / execution time / scanned-column metrics.
+``repro.obs``
+    Observability: span tracing, runtime metrics, JSONL export and the
+    ASCII pipeline timeline.
 ``repro.experiments``
     One module per table/figure of the paper's evaluation.
 """
 
-from . import baselines, core, datagen, db, features, metrics, nn, text
+from . import baselines, core, datagen, db, features, metrics, nn, obs, text
 
 __version__ = "1.0.0"
 
@@ -37,5 +40,6 @@ __all__ = [
     "core",
     "baselines",
     "metrics",
+    "obs",
     "__version__",
 ]

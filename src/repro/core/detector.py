@@ -15,10 +15,13 @@ Typical use::
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 from ..core.adtd import ADTDModel
 from ..db.server import CloudDatabaseServer
 from ..features.encoding import Featurizer
+from ..obs import Tracer, write_spans_jsonl
+from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
 from .latent_cache import LatentCache
 from .phases import TableJob
 from .pipeline import PipelinedExecutor, SequentialExecutor
@@ -48,6 +51,12 @@ class TasteDetector:
     scan_method:
         ``"first"`` (first ``m`` rows) or ``"sample"`` (``ORDER BY
         RAND(seed)``), paper Sec. 6.1.2.
+    tracer:
+        Span collector for the run (default: a fresh enabled
+        :class:`~repro.obs.Tracer`; pass ``Tracer(enabled=False)`` to
+        silence tracing entirely).
+    metrics:
+        Metrics sink (default: the process-global registry).
     """
 
     def __init__(
@@ -62,13 +71,19 @@ class TasteDetector:
         scan_method: str = "first",
         sample_seed: int = 0,
         cache_capacity: int = 256,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
     ) -> None:
         if scan_method not in ("first", "sample"):
             raise ValueError(f"scan_method must be 'first' or 'sample', got {scan_method!r}")
         self.model = model
         self.featurizer = featurizer
         self.thresholds = thresholds or ThresholdPolicy()
-        self.cache = LatentCache(capacity=cache_capacity, enabled=caching)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else global_registry()
+        self.cache = LatentCache(
+            capacity=cache_capacity, enabled=caching, metrics=self.metrics
+        )
         self.pipelined = pipelined
         self.scan_method = scan_method
         self.sample_seed = sample_seed
@@ -84,6 +99,7 @@ class TasteDetector:
         self,
         server: CloudDatabaseServer,
         table_names: list[str] | None = None,
+        trace_out: str | Path | None = None,
     ) -> DetectionReport:
         """Detect semantic types for ``table_names`` (default: all tables).
 
@@ -91,23 +107,38 @@ class TasteDetector:
         paper recommends), runs the four-stage jobs through the configured
         executor and returns a :class:`DetectionReport` with predictions,
         wall time and the database-side cost snapshot.
+
+        The whole run executes under a root ``detect`` span; every stage
+        span of every table (from either thread pool) descends from it.
+        ``trace_out`` writes the tracer's spans as a JSONL artifact after
+        the run (see :func:`repro.obs.render_timeline`).
         """
         started = time.perf_counter()
-        connection = server.connect()
-        try:
-            if table_names is None:
-                table_names = connection.list_tables()
-            jobs = [TableJob(self, connection, name) for name in table_names]
-            self._executor.run(jobs)
-        finally:
-            connection.close()
+        with self.tracer.span(
+            "detect",
+            pipelined=self.pipelined,
+            scan_method=self.scan_method,
+        ) as root:
+            connection = server.connect()
+            try:
+                if table_names is None:
+                    table_names = connection.list_tables()
+                root.set(num_tables=len(table_names))
+                jobs = [TableJob(self, connection, name) for name in table_names]
+                self._executor.run(jobs, metrics=self.metrics)
+            finally:
+                connection.close()
         wall = time.perf_counter() - started
+        if trace_out is not None:
+            write_spans_jsonl(self.tracer.spans(), trace_out)
         return DetectionReport(
             tables=[job.result for job in jobs],
             wall_seconds=wall,
             cost=server.ledger.snapshot(),
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
+            cache_evictions=self.cache.evictions,
+            cache_disabled_lookups=self.cache.disabled_lookups,
         )
 
     def detect_table(self, server: CloudDatabaseServer, table_name: str) -> DetectionReport:

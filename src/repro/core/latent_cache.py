@@ -3,8 +3,17 @@
 Because the content tower depends on the metadata tower's per-layer outputs
 but not vice versa, Phase 1 can store ``Encode_i^{M_t}`` for every layer and
 Phase 2 can reuse them, skipping the whole metadata-tower recomputation.
-The cache is a bounded LRU keyed by table identity, with hit/miss counters
-so the ablation ("TASTE without caching") can quantify the saving.
+The cache is a bounded LRU keyed by table identity, with hit/miss/eviction
+counters so the ablation ("TASTE without caching") can quantify the saving.
+
+Lookups against a *disabled* cache are counted separately
+(``disabled_lookups``), not as misses: the "without caching" ablation never
+attempts a lookup, so reporting misses for it would overstate churn.
+
+All counters are mirrored into a :class:`~repro.obs.metrics.MetricsRegistry`
+(``cache.hits`` / ``cache.misses`` / ``cache.evictions`` /
+``cache.disabled_lookups`` counters plus ``cache.bytes`` and
+``cache.entries`` gauges), the process-global one by default.
 """
 
 from __future__ import annotations
@@ -14,6 +23,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
 
 __all__ = ["CachedEncoding", "LatentCache"]
 
@@ -28,6 +39,13 @@ class CachedEncoding:
     numeric: np.ndarray  # (1, C, F)
     meta_logits: np.ndarray  # (1, C, num_labels) — Phase 1's raw scores
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size in bytes."""
+        arrays = [*self.layer_outputs, self.meta_mask, self.col_positions,
+                  self.numeric, self.meta_logits]
+        return int(sum(a.nbytes for a in arrays))
+
 
 @dataclass
 class LatentCache:
@@ -37,41 +55,73 @@ class LatentCache:
     enabled: bool = True
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    disabled_lookups: int = 0
+    bytes: int = 0
+    metrics: MetricsRegistry | NullMetricsRegistry | None = None
     _store: "OrderedDict[str, CachedEncoding]" = field(default_factory=OrderedDict)
+    _sizes: dict[str, int] = field(default_factory=dict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def _metrics(self) -> MetricsRegistry | NullMetricsRegistry:
+        return self.metrics if self.metrics is not None else global_registry()
 
     def put(self, key: str, encoding: CachedEncoding) -> None:
         if not self.enabled:
             return
+        metrics = self._metrics()
         with self._lock:
             if key in self._store:
                 self._store.move_to_end(key)
+                self.bytes -= self._sizes.get(key, 0)
+            size = encoding.nbytes
             self._store[key] = encoding
+            self._sizes[key] = size
+            self.bytes += size
             while len(self._store) > self.capacity:
-                self._store.popitem(last=False)
+                evicted_key, _ = self._store.popitem(last=False)
+                self.bytes -= self._sizes.pop(evicted_key, 0)
+                self.evictions += 1
+                metrics.counter("cache.evictions").inc()
+            metrics.gauge("cache.bytes").set(self.bytes)
+            metrics.gauge("cache.entries").set(len(self._store))
 
     def get(self, key: str) -> CachedEncoding | None:
+        metrics = self._metrics()
         with self._lock:
             if not self.enabled:
-                self.misses += 1
+                # Not a miss: the lookup was never attempted against a store.
+                self.disabled_lookups += 1
+                metrics.counter("cache.disabled_lookups").inc()
                 return None
             encoding = self._store.get(key)
             if encoding is None:
                 self.misses += 1
+                metrics.counter("cache.misses").inc()
                 return None
             self.hits += 1
+            metrics.counter("cache.hits").inc()
             self._store.move_to_end(key)
             return encoding
 
     def invalidate(self, key: str) -> None:
         with self._lock:
-            self._store.pop(key, None)
+            if self._store.pop(key, None) is not None:
+                self.bytes -= self._sizes.pop(key, 0)
+                self._metrics().gauge("cache.bytes").set(self.bytes)
+                self._metrics().gauge("cache.entries").set(len(self._store))
 
     def clear(self) -> None:
         with self._lock:
             self._store.clear()
+            self._sizes.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.disabled_lookups = 0
+            self.bytes = 0
+            self._metrics().gauge("cache.bytes").set(0)
+            self._metrics().gauge("cache.entries").set(0)
 
     def __len__(self) -> int:
         with self._lock:

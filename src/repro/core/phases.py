@@ -25,17 +25,20 @@ from .. import nn
 from ..db.connection import Connection
 from ..db.schema import TableMetadata
 from ..features.encoding import Batch, collate, split_metadata
+from ..obs import NULL_METRICS, NULL_TRACER
 from .latent_cache import CachedEncoding
 from .results import ColumnPrediction, TableResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .detector import TasteDetector
 
-__all__ = ["ChunkState", "TableJob", "STAGE_KINDS"]
+__all__ = ["ChunkState", "TableJob", "STAGE_KINDS", "STAGE_NAMES"]
 
 # Stage index -> resource class. "prep" stages go to thread pool TP1,
 # "infer" stages to TP2 (Algorithm 1).
 STAGE_KINDS = ("prep", "infer", "prep", "infer")
+# Stage index -> span/metric name.
+STAGE_NAMES = ("p1.prep", "p1.infer", "p2.prep", "p2.infer")
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -82,7 +85,13 @@ class TableJob:
         return STAGE_KINDS[self.completed_stages]
 
     def run_next_stage(self) -> None:
-        """Run the next stage; stages must execute in order per table."""
+        """Run the next stage; stages must execute in order per table.
+
+        Each stage runs inside a tracer span carrying the table name, the
+        stage name and its resource kind; :class:`TableResult`'s per-stage
+        seconds are populated from the span (or from a bare clock pair when
+        tracing is disabled).
+        """
         stage = self.completed_stages
         runner = (
             self.prepare_phase1,
@@ -90,9 +99,22 @@ class TableJob:
             self.prepare_phase2,
             self.infer_phase2,
         )[stage]
-        started = time.perf_counter()
-        runner()
-        elapsed = time.perf_counter() - started
+        tracer = getattr(self.detector, "tracer", None)
+        tracer = NULL_TRACER if tracer is None else tracer
+        metrics = getattr(self.detector, "metrics", None)
+        metrics = NULL_METRICS if metrics is None else metrics
+        name, kind = STAGE_NAMES[stage], STAGE_KINDS[stage]
+        if tracer.enabled:
+            with tracer.span(
+                f"stage.{name}", table=self.table_name, stage=name, kind=kind, index=stage
+            ) as span:
+                runner()
+            elapsed = span.duration
+        else:
+            started = time.perf_counter()
+            runner()
+            elapsed = time.perf_counter() - started
+        metrics.histogram("pipeline.stage_seconds", stage=name).observe(elapsed)
         attr = ("prepare1_seconds", "infer1_seconds", "prepare2_seconds", "infer2_seconds")[stage]
         setattr(self.result, attr, elapsed)
         self.completed_stages = stage + 1

@@ -7,15 +7,27 @@ in flight. Two thread pools (``TP1`` for preparation, ``TP2`` for
 inference) drain a queue of stages; a stage is *eligible* once all previous
 stages of the same table have finished (Definition 5.1).
 
+The dispatch loop is event-driven: workers ``notify_all()`` the condition
+on completion and the loop blocks in ``condition.wait()`` until then (a
+long ``wait_timeout`` remains as a safety net only; timeouts are counted
+in the ``pipeline.wait_timeouts`` metric and a healthy run records zero).
+Stage callables run inside a copy of the dispatcher's :mod:`contextvars`
+context, so tracer spans opened on worker threads parent to the run's
+root span.
+
 ``SequentialExecutor`` is the ablation baseline: tables processed one by
 one, stages strictly in order, no overlap.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
+from ..obs import NULL_METRICS
+from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
 from .phases import TableJob
 
 __all__ = ["PipelinedExecutor", "SequentialExecutor"]
@@ -24,7 +36,11 @@ __all__ = ["PipelinedExecutor", "SequentialExecutor"]
 class SequentialExecutor:
     """Runs every stage of every table in order, with no concurrency."""
 
-    def run(self, jobs: list[TableJob]) -> None:
+    def run(
+        self,
+        jobs: list[TableJob],
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    ) -> None:
         for job in jobs:
             while not job.done:
                 job.run_next_stage()
@@ -39,22 +55,55 @@ class PipelinedExecutor:
         Size of TP1 (data-preparation pool).
     infer_workers:
         Size of TP2 (inference pool).
+    wait_timeout:
+        Safety-net timeout for the dispatch loop's ``condition.wait``.
+        Workers always notify on completion, so this should never fire; a
+        firing increments ``pipeline.wait_timeouts``.
     """
 
-    def __init__(self, prep_workers: int = 2, infer_workers: int = 2) -> None:
+    def __init__(
+        self,
+        prep_workers: int = 2,
+        infer_workers: int = 2,
+        wait_timeout: float = 5.0,
+    ) -> None:
         if prep_workers < 1 or infer_workers < 1:
             raise ValueError("both thread pools need at least one worker")
         self.prep_workers = prep_workers
         self.infer_workers = infer_workers
+        self.wait_timeout = wait_timeout
 
-    def run(self, jobs: list[TableJob]) -> None:
+    def run(
+        self,
+        jobs: list[TableJob],
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    ) -> None:
         if not jobs:
             return
+        metrics = metrics if metrics is not None else global_registry()
+        in_flight_gauges = {
+            kind: metrics.gauge("pipeline.in_flight", pool=kind)
+            for kind in ("prep", "infer")
+        }
+        dispatch_counters = {
+            kind: metrics.counter("pipeline.dispatches", pool=kind)
+            for kind in ("prep", "infer")
+        }
+        queue_wait = {
+            kind: metrics.histogram("pipeline.queue_wait_seconds", pool=kind)
+            for kind in ("prep", "infer")
+        }
+        wakeups = metrics.counter("pipeline.wakeups")
+        wait_timeouts = metrics.counter("pipeline.wait_timeouts")
+        dispatch_seconds = metrics.histogram("pipeline.dispatch_seconds")
+
         condition = threading.Condition()
         in_flight = {"prep": 0, "infer": 0}
         failures: list[BaseException] = []
         # A job is dispatchable when it is not done and not currently running.
         running: set[int] = set()
+        # id(job) -> clock reading when its next stage became eligible.
+        eligible_since = {id(job): time.perf_counter() for job in jobs}
 
         def worker(job: TableJob, kind: str) -> None:
             try:
@@ -64,7 +113,9 @@ class PipelinedExecutor:
             finally:
                 with condition:
                     in_flight[kind] -= 1
+                    in_flight_gauges[kind].set(in_flight[kind])
                     running.discard(id(job))
+                    eligible_since[id(job)] = time.perf_counter()
                     condition.notify_all()
 
         limits = {"prep": self.prep_workers, "infer": self.infer_workers}
@@ -78,6 +129,7 @@ class PipelinedExecutor:
                     pending = [job for job in jobs if not job.done]
                     if not pending and not running:
                         break
+                    pass_started = time.perf_counter()
                     dispatched = False
                     for kind in ("prep", "infer"):
                         if in_flight[kind] >= limits[kind]:
@@ -90,12 +142,26 @@ class PipelinedExecutor:
                                 continue
                             if job.next_stage_kind() != kind:
                                 continue
+                            now = time.perf_counter()
+                            queue_wait[kind].observe(now - eligible_since[id(job)])
                             running.add(id(job))
                             in_flight[kind] += 1
-                            pools[kind].submit(worker, job, kind)
+                            in_flight_gauges[kind].set(in_flight[kind])
+                            dispatch_counters[kind].inc()
+                            # Run the stage inside the dispatcher's context so
+                            # spans opened on the worker thread keep the run's
+                            # root span as an ancestor.
+                            context = contextvars.copy_context()
+                            pools[kind].submit(context.run, worker, job, kind)
                             dispatched = True
                             break
+                    dispatch_seconds.observe(time.perf_counter() - pass_started)
                     if not dispatched:
-                        condition.wait(timeout=0.1)
+                        # Event-driven wait: workers notify on completion, so
+                        # a timeout here is a stall, not normal operation.
+                        notified = condition.wait(timeout=self.wait_timeout)
+                        wakeups.inc()
+                        if not notified:
+                            wait_timeouts.inc()
         if failures:
             raise failures[0]

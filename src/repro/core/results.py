@@ -50,6 +50,8 @@ class DetectionReport:
     cost: dict[str, float]
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_disabled_lookups: int = 0
 
     @property
     def predictions(self) -> list[ColumnPrediction]:

@@ -16,6 +16,7 @@ import numpy as np
 from .. import nn
 from ..datagen.tables import Table
 from ..features.encoding import Batch, EncodedTable, Featurizer, collate
+from ..obs import NULL_TRACER, Tracer
 from .adtd import ADTDModel
 
 __all__ = ["TrainConfig", "TrainHistory", "fine_tune", "encode_training_tables", "task_losses"]
@@ -80,12 +81,16 @@ def fine_tune(
     featurizer: Featurizer,
     tables: list[Table],
     config: TrainConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> TrainHistory:
     """Fine-tune the whole ADTD model on labeled tables.
 
-    Returns the loss history. The model is left in eval mode.
+    Returns the loss history. The model is left in eval mode. With a
+    ``tracer``, the run emits a ``train`` span plus one ``train.epoch``
+    span per epoch (carrying the epoch index and mean loss).
     """
     config = config or TrainConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
     rng = np.random.default_rng(config.seed)
     encoded = encode_training_tables(featurizer, tables)
     if not encoded:
@@ -103,29 +108,35 @@ def fine_tune(
     history = TrainHistory()
     started = time.perf_counter()
     model.train()
-    for _ in range(config.epochs):
-        order = rng.permutation(len(encoded))
-        epoch_total, epoch_meta, epoch_content, batches = 0.0, 0.0, 0.0, 0
-        for start in range(0, len(order), config.batch_size):
-            batch_tables = [encoded[int(i)] for i in order[start : start + config.batch_size]]
-            batch = collate(batch_tables)
-            meta_loss, content_loss = task_losses(model, batch)
-            if config.automatic_weighting:
-                loss = model.task_loss([meta_loss, content_loss])
-            else:
-                loss = meta_loss + content_loss
-            model.zero_grad()
-            loss.backward()
-            nn.clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            schedule.step()
-            epoch_total += float(loss.data)
-            epoch_meta += float(meta_loss.data)
-            epoch_content += float(content_loss.data)
-            batches += 1
-        history.epoch_losses.append(epoch_total / batches)
-        history.meta_losses.append(epoch_meta / batches)
-        history.content_losses.append(epoch_content / batches)
+    with tracer.span("train", epochs=config.epochs, num_chunks=len(encoded)):
+        for epoch in range(config.epochs):
+            epoch_span = tracer.span("train.epoch", epoch=epoch)
+            with epoch_span:
+                order = rng.permutation(len(encoded))
+                epoch_total, epoch_meta, epoch_content, batches = 0.0, 0.0, 0.0, 0
+                for start in range(0, len(order), config.batch_size):
+                    batch_tables = [
+                        encoded[int(i)] for i in order[start : start + config.batch_size]
+                    ]
+                    batch = collate(batch_tables)
+                    meta_loss, content_loss = task_losses(model, batch)
+                    if config.automatic_weighting:
+                        loss = model.task_loss([meta_loss, content_loss])
+                    else:
+                        loss = meta_loss + content_loss
+                    model.zero_grad()
+                    loss.backward()
+                    nn.clip_grad_norm(model.parameters(), config.grad_clip)
+                    optimizer.step()
+                    schedule.step()
+                    epoch_total += float(loss.data)
+                    epoch_meta += float(meta_loss.data)
+                    epoch_content += float(content_loss.data)
+                    batches += 1
+                epoch_span.set(loss=epoch_total / batches)
+            history.epoch_losses.append(epoch_total / batches)
+            history.meta_losses.append(epoch_meta / batches)
+            history.content_losses.append(epoch_content / batches)
     history.seconds = time.perf_counter() - started
     model.eval()
     return history

@@ -192,7 +192,12 @@ class Connection:
                         "table_rows": metadata.num_rows,
                     }
                 )
-            cost = self._cost_model.metadata_per_table * len(rows)
+            # One network round trip plus per-table metadata cost, exactly
+            # like every other operation on this connection.
+            cost = (
+                self._cost_model.round_trip_latency
+                + self._cost_model.metadata_per_table * len(rows)
+            )
             self._ledger.record_metadata(len(rows), cost)
             self._charge(cost)
             return rows

@@ -19,6 +19,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
+
 __all__ = ["CostModel", "CostLedger"]
 
 
@@ -49,26 +51,47 @@ class CostModel:
 
 @dataclass
 class CostLedger:
-    """Thread-safe counters for one detection run."""
+    """Thread-safe counters for one detection run.
+
+    Every ``record_*`` call corresponds to one client/server round trip,
+    tallied in ``round_trips``. The ledger mirrors its counters into a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``db.round_trips`` with an
+    ``op`` label, ``db.rows_read``, ``db.cells_read``,
+    ``db.charged_seconds``) so a run's network profile appears alongside
+    the pipeline metrics; the process-global registry is the default sink.
+    """
 
     connections_opened: int = 0
     metadata_requests: int = 0
     scan_queries: int = 0
     rows_read: int = 0
     cells_read: int = 0
+    round_trips: int = 0
     simulated_seconds: float = 0.0
+    metrics: MetricsRegistry | NullMetricsRegistry | None = None
     _scanned_columns: set[tuple[str, str]] = field(default_factory=set)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def _metrics(self) -> MetricsRegistry | NullMetricsRegistry:
+        return self.metrics if self.metrics is not None else global_registry()
 
     def record_connection(self, cost: float) -> None:
         with self._lock:
             self.connections_opened += 1
+            self.round_trips += 1
             self.simulated_seconds += cost
+        metrics = self._metrics()
+        metrics.counter("db.round_trips", op="connect").inc()
+        metrics.counter("db.charged_seconds").inc(cost)
 
     def record_metadata(self, num_tables: int, cost: float) -> None:
         with self._lock:
             self.metadata_requests += num_tables
+            self.round_trips += 1
             self.simulated_seconds += cost
+        metrics = self._metrics()
+        metrics.counter("db.round_trips", op="metadata").inc()
+        metrics.counter("db.charged_seconds").inc(cost)
 
     def record_scan(
         self, table: str, columns: list[str], rows: int, cost: float
@@ -77,9 +100,15 @@ class CostLedger:
             self.scan_queries += 1
             self.rows_read += rows
             self.cells_read += rows * len(columns)
+            self.round_trips += 1
             self.simulated_seconds += cost
             for column in columns:
                 self._scanned_columns.add((table, column))
+        metrics = self._metrics()
+        metrics.counter("db.round_trips", op="scan").inc()
+        metrics.counter("db.rows_read").inc(rows)
+        metrics.counter("db.cells_read").inc(rows * len(columns))
+        metrics.counter("db.charged_seconds").inc(cost)
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +135,7 @@ class CostLedger:
                 "scan_queries": self.scan_queries,
                 "rows_read": self.rows_read,
                 "cells_read": self.cells_read,
+                "round_trips": self.round_trips,
                 "scanned_columns": len(self._scanned_columns),
                 "simulated_seconds": self.simulated_seconds,
             }
@@ -117,5 +147,6 @@ class CostLedger:
             self.scan_queries = 0
             self.rows_read = 0
             self.cells_read = 0
+            self.round_trips = 0
             self.simulated_seconds = 0.0
             self._scanned_columns.clear()

@@ -10,6 +10,7 @@ is charged.
 from __future__ import annotations
 
 from ..datagen.tables import Table
+from ..obs.metrics import MetricsRegistry, NullMetricsRegistry
 from .connection import Connection
 from .cost import CostLedger, CostModel
 from .engine import Database
@@ -25,19 +26,23 @@ class CloudDatabaseServer:
         database: Database,
         cost_model: CostModel | None = None,
         ledger: CostLedger | None = None,
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or CostModel()
-        self.ledger = ledger or CostLedger()
+        self.ledger = ledger or CostLedger(metrics=metrics)
 
     @staticmethod
     def from_tables(
         tables: list[Table],
         cost_model: CostModel | None = None,
         analyze: bool = False,
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
     ) -> "CloudDatabaseServer":
         """Build a server hosting ``tables``; ``analyze`` pre-builds histograms."""
-        server = CloudDatabaseServer(Database.from_tables(tables), cost_model)
+        server = CloudDatabaseServer(
+            Database.from_tables(tables), cost_model, metrics=metrics
+        )
         if analyze:
             server.database.analyze_all()
         return server

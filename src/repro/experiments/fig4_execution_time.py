@@ -9,10 +9,12 @@ like the paper's ten-run bars.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..baselines import BaselineDetector
 from ..core import TasteDetector, ThresholdPolicy
 from ..metrics import RunTiming, render_table
+from ..obs import Tracer
 from .common import (
     Scale,
     get_baseline_model,
@@ -87,17 +89,26 @@ class Fig4Result:
         return "\n\n".join(blocks)
 
 
-def _run_variant(variant: str, corpus, scale: Scale) -> TimingRow:
+def _run_variant(
+    variant: str, corpus, scale: Scale, trace_out: str | Path | None = None
+) -> TimingRow:
     use_histogram = variant == "taste_hist"
     samples = []
     io_seconds = 0.0
-    for _ in range(scale.timing_runs):
+    for run_index in range(scale.timing_runs):
         server = make_server(
             corpus.test, paper_cost_model(time_scale=1.0), analyze=use_histogram
+        )
+        last_run = run_index == scale.timing_runs - 1
+        trace_path = (
+            Path(trace_out) / f"fig4-{corpus.name}-{variant}.jsonl"
+            if trace_out is not None and last_run
+            else None
         )
         if variant in ("turl", "doduo"):
             model, featurizer = get_baseline_model(corpus, scale, variant)
             detector = BaselineDetector(model, featurizer)
+            report = detector.detect(server)
         else:
             model, featurizer = get_taste_model(corpus, scale, use_histogram)
             detector = TasteDetector(
@@ -107,22 +118,29 @@ def _run_variant(variant: str, corpus, scale: Scale) -> TimingRow:
                 caching=variant != "taste_no_cache",
                 pipelined=variant != "taste_no_pipeline",
                 scan_method="sample" if variant == "taste_sampling" else "first",
+                # Trace only when asked: timing runs should measure the
+                # disabled-tracer fast path, like production defaults.
+                tracer=Tracer(enabled=trace_path is not None),
             )
-        report = detector.detect(server)
+            report = detector.detect(server, trace_out=trace_path)
         samples.append(report.wall_seconds)
         io_seconds = report.cost["simulated_seconds"]
     return TimingRow(corpus.name, variant, RunTiming.of(samples), io_seconds)
 
 
-def run(scale: Scale | None = None, variants: tuple[str, ...] = VARIANTS) -> Fig4Result:
+def run(
+    scale: Scale | None = None,
+    variants: tuple[str, ...] = VARIANTS,
+    trace_out: str | Path | None = None,
+) -> Fig4Result:
     scale = scale or get_scale()
     rows = []
     for corpus_name in ("wikitable", "gittables"):
         corpus = get_corpus(corpus_name, scale)
         for variant in variants:
-            rows.append(_run_variant(variant, corpus, scale))
+            rows.append(_run_variant(variant, corpus, scale, trace_out=trace_out))
     return Fig4Result(rows)
 
 
-def render(scale: Scale | None = None) -> str:
-    return run(scale).render()
+def render(scale: Scale | None = None, trace_out: str | Path | None = None) -> str:
+    return run(scale, trace_out=trace_out).render()

@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -60,6 +61,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="size profile: 'default' or 'small' (or set REPRO_SCALE)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write JSONL span traces under DIR for experiments that support "
+            "tracing (currently fig4); render them with "
+            "repro.obs.render_timeline"
+        ),
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -71,7 +82,11 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.perf_counter()
         print(f"=== {name} (scale={scale.name}) ===")
-        print(EXPERIMENTS[name].render(scale))
+        render = EXPERIMENTS[name].render
+        kwargs = {}
+        if args.trace_out and "trace_out" in inspect.signature(render).parameters:
+            kwargs["trace_out"] = args.trace_out
+        print(render(scale, **kwargs))
         print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
     return 0
 

@@ -1,0 +1,40 @@
+"""Observability substrate: tracing, metrics and span export.
+
+Zero-dependency, default-on, and cheap to disable: the tracer
+short-circuits when constructed with ``enabled=False`` and every metric
+can be pointed at :data:`NULL_METRICS`. See ``repro.obs.trace`` for
+context propagation across the pipelined executor's thread pools and
+``repro.obs.export`` for the JSONL artifact format and the ASCII
+timeline renderer.
+"""
+
+from .export import read_spans_jsonl, render_timeline, span_to_dict, write_spans_jsonl
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    global_registry,
+)
+from .trace import NULL_SPAN, NULL_TRACER, Span, Tracer, current_span
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "current_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "global_registry",
+    "span_to_dict",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "render_timeline",
+]

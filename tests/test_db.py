@@ -176,6 +176,30 @@ class TestSQLDialect:
         rows = server.connect().execute("SELECT * FROM information_schema.tables")
         assert len(rows) == len(tables)
 
+    def test_information_schema_tables_charges_round_trip(self, tables):
+        """The listing query crosses the network like everything else, so
+        its charge must include the round-trip latency on top of the
+        per-table metadata cost."""
+        server = CloudDatabaseServer.from_tables(tables, FAST)
+        conn = server.connect()
+        base = server.ledger.simulated_seconds
+        conn.execute("SELECT * FROM information_schema.tables")
+        charged = server.ledger.simulated_seconds - base
+        model = server.cost_model
+        # One round trip for the embedded list_tables() plus one for the
+        # metadata fetch itself (previously omitted) plus per-table cost.
+        assert charged == pytest.approx(
+            2 * model.round_trip_latency + model.metadata_per_table * len(tables)
+        )
+
+    def test_round_trips_counted(self, server, tables):
+        conn = server.connect()
+        conn.fetch_metadata(tables[0].name)
+        conn.fetch_values(tables[0].name, [tables[0].columns[0].name], limit=2)
+        # connect + metadata + scan = 3 round trips, mirrored in snapshot()
+        assert server.ledger.round_trips == 3
+        assert server.ledger.snapshot()["round_trips"] == 3
+
     def test_analyze_table_statement(self, server, tables):
         conn = server.connect()
         conn.execute(f"ANALYZE TABLE {tables[0].name} WITH 4 BUCKETS KIND equal_height")

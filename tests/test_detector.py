@@ -95,14 +95,17 @@ class TestCaching:
         assert report.cache_hits > 0
         assert report.cache_misses == 0
 
-    def test_caching_disabled_misses(self, trained_model, featurizer, server):
+    def test_caching_disabled_counts_no_misses(self, trained_model, featurizer, server):
+        """Disabled-cache lookups are tracked separately, not as misses:
+        the ablation never attempted them."""
         detector = TasteDetector(
             trained_model, featurizer, ThresholdPolicy(0.0, 1.0),
             caching=False, pipelined=False,
         )
         report = detector.detect(server)
         assert report.cache_hits == 0
-        assert report.cache_misses > 0
+        assert report.cache_misses == 0
+        assert report.cache_disabled_lookups > 0
 
     def test_cache_and_no_cache_identical_predictions(
         self, trained_model, featurizer, tiny_corpus

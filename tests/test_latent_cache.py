@@ -61,6 +61,20 @@ class TestLRU:
         cache.put("c", encoding())
         assert "a" not in cache
         assert "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_bytes_tracked_through_eviction(self):
+        cache = LatentCache(capacity=2)
+        cache.put("a", encoding())
+        one_entry = cache.bytes
+        assert one_entry > 0
+        cache.put("b", encoding())
+        cache.put("c", encoding())  # evicts "a"
+        assert cache.bytes == 2 * one_entry
+        cache.invalidate("b")
+        assert cache.bytes == one_entry
+        cache.clear()
+        assert cache.bytes == 0 and cache.evictions == 0
 
     def test_get_refreshes_recency(self):
         cache = LatentCache(capacity=2)
@@ -86,10 +100,12 @@ class TestDisabled:
         cache.put("a", encoding())
         assert cache.get("a") is None
         assert len(cache) == 0
-        assert cache.misses == 1
 
-    def test_disabled_counts_misses(self):
+    def test_disabled_lookups_are_not_misses(self):
+        """The "without caching" ablation never attempts a lookup, so its
+        lookups must not inflate the miss counter."""
         cache = LatentCache(enabled=False)
         cache.get("a")
         cache.get("b")
-        assert cache.misses == 2
+        assert cache.misses == 0
+        assert cache.disabled_lookups == 2

@@ -8,6 +8,7 @@ import time
 import pytest
 
 from repro.core import PipelinedExecutor, SequentialExecutor
+from repro.obs import MetricsRegistry
 
 
 class FakeJob:
@@ -109,6 +110,31 @@ class TestPipelinedExecutor:
         first_t1 = names_in_order.index("t1")
         last_t0 = len(names_in_order) - 1 - names_in_order[::-1].index("t0")
         assert first_t1 < last_t0
+
+    def test_no_spurious_wakeups(self, make_jobs):
+        """The dispatch loop is event-driven, not polling: a 4-table run
+        must never hit the safety-net wait timeout, and the loop wakes at
+        most once per stage completion (16 completions here)."""
+        jobs, _ = make_jobs(4, delay=0.005)
+        registry = MetricsRegistry()
+        PipelinedExecutor(2, 2).run(jobs, metrics=registry)
+        assert all(job.done for job in jobs)
+        snapshot = registry.snapshot()
+        assert snapshot["pipeline.wait_timeouts"]["value"] == 0
+        assert snapshot["pipeline.wakeups"]["value"] <= 16
+        assert (
+            snapshot["pipeline.dispatches{pool=prep}"]["value"]
+            == snapshot["pipeline.dispatches{pool=infer}"]["value"]
+            == 8
+        )
+
+    def test_queue_wait_histogram_recorded(self, make_jobs):
+        jobs, _ = make_jobs(3, delay=0.002)
+        registry = MetricsRegistry()
+        PipelinedExecutor(2, 2).run(jobs, metrics=registry)
+        for pool in ("prep", "infer"):
+            hist = registry.histogram("pipeline.queue_wait_seconds", pool=pool)
+            assert hist.count == 6  # two stages of each kind per table
 
     def test_faster_than_sequential_with_io_delays(self, make_jobs):
         delay = 0.01
