@@ -1,0 +1,48 @@
+"""``repro.analysis`` — a zero-new-dependency static-analysis toolkit.
+
+Three engines behind one CLI (``python -m repro.analysis``):
+
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — an AST lint
+  engine with repo-specific rules (autograd safety, lock discipline,
+  observability hygiene) and flake8-style ``# noqa: RPR###`` suppression;
+* :mod:`repro.analysis.shapes` — a symbolic shape checker that rejects
+  inconsistent H/A/I/L model configurations before any forward pass;
+* :mod:`repro.analysis.races` — an Eraser-style lockset monitor that
+  instruments classes under test and flags shared writes with no common
+  lock.
+
+All engines report through :class:`repro.analysis.findings.Finding`, with
+text and JSONL emitters mirroring :mod:`repro.obs.export`, and the tier-1
+test suite gates the tree on ``lint`` and ``shapes`` staying clean.
+"""
+
+from .findings import Finding, read_findings_jsonl, render_findings, write_findings_jsonl
+from .lint import Rule, lint_paths, register, registered_rules
+from .races import LocksetMonitor, RaceReport
+from .shapes import (
+    ShapeError,
+    check_adtd_config,
+    check_encoder_config,
+    check_tree,
+    infer_module_shape,
+)
+
+from . import rules as _rules  # noqa: F401 - populate the rule registry
+
+__all__ = [
+    "Finding",
+    "render_findings",
+    "write_findings_jsonl",
+    "read_findings_jsonl",
+    "Rule",
+    "register",
+    "registered_rules",
+    "lint_paths",
+    "LocksetMonitor",
+    "RaceReport",
+    "ShapeError",
+    "check_encoder_config",
+    "check_adtd_config",
+    "check_tree",
+    "infer_module_shape",
+]

@@ -1,0 +1,121 @@
+"""CLI for the static-analysis toolkit.
+
+::
+
+    python -m repro.analysis lint src/            # AST lint (RPR rules)
+    python -m repro.analysis shapes src/          # symbolic shape checks
+    python -m repro.analysis races                # race-detector self-check
+    python -m repro.analysis lint src/ --format jsonl --out findings.jsonl
+
+Exit status is 0 when no ``error``-severity findings were produced, 1
+otherwise — suitable as a CI gate. ``--out`` always writes the JSONL
+artifact (same one-object-per-line convention as ``repro.obs.export``)
+regardless of the stdout format, so CI can render text and archive JSONL
+from a single run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .findings import Finding, render_findings, write_findings_jsonl
+from .lint import lint_paths, registered_rules
+
+__all__ = ["main"]
+
+
+def _emit(findings: list[Finding], fmt: str, out: str | None) -> None:
+    if fmt == "jsonl":
+        for finding in findings:
+            print(json.dumps(finding.to_dict(), default=str))
+    else:
+        print(render_findings(findings))
+    if out is not None:
+        path = write_findings_jsonl(findings, out)
+        print(f"wrote {len(findings)} findings to {path}", file=sys.stderr)
+
+
+def _exit_code(findings: list[Finding]) -> int:
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-aware static analysis: lint, shape checks, race detection.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lint_parser = subparsers.add_parser("lint", help="run the AST lint rules")
+    lint_parser.add_argument("paths", nargs="*", default=["src"])
+    lint_parser.add_argument("--format", choices=("text", "jsonl"), default="text")
+    lint_parser.add_argument("--out", default=None, help="also write findings JSONL here")
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+
+    shapes_parser = subparsers.add_parser(
+        "shapes", help="symbolically check model configurations"
+    )
+    shapes_parser.add_argument("paths", nargs="*", default=["src"])
+    shapes_parser.add_argument("--format", choices=("text", "jsonl"), default="text")
+    shapes_parser.add_argument("--out", default=None)
+
+    races_parser = subparsers.add_parser(
+        "races", help="self-check the lockset race detector"
+    )
+    races_parser.add_argument(
+        "paths", nargs="*", default=[], help="ignored; races is a runtime tool"
+    )
+    races_parser.add_argument("--format", choices=("text", "jsonl"), default="text")
+    races_parser.add_argument("--out", default=None)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        from . import rules as _rules  # noqa: F401 - ensure registration
+
+        if args.list_rules:
+            for rule in registered_rules():
+                print(f"{rule.id}  {rule.name:<28} {rule.description}")
+            return 0
+        findings = lint_paths(args.paths)
+        _emit(findings, args.format, args.out)
+        return _exit_code(findings)
+
+    if args.command == "shapes":
+        from .shapes import check_tree
+
+        findings, checked = check_tree(args.paths)
+        _emit(findings, args.format, args.out)
+        print(f"checked {checked} configurations", file=sys.stderr)
+        return _exit_code(findings)
+
+    if args.command == "races":
+        from .races import self_check
+
+        if args.paths:
+            print(
+                "note: the race detector is dynamic; instrument classes in "
+                "tests via repro.analysis.LocksetMonitor. Running self-check.",
+                file=sys.stderr,
+            )
+        findings = list(self_check())
+        _emit(findings, args.format, args.out)
+        if not findings:
+            print(
+                "race-detector self-check passed: injected race flagged, "
+                "guarded class clean",
+                file=sys.stderr,
+            )
+        return _exit_code(findings)
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,471 @@
+"""Symbolic shape checker for the ``repro.nn`` model family.
+
+Catches inconsistent H/A/I/L configurations *before* any forward pass
+allocates a single array, by replaying the model wiring over abstract
+shapes. A dimension is either a concrete ``int`` or a named symbol
+(``"B"``, ``"T"``) — symbols stand for run-time-sized axes (batch,
+sequence), so only provable mismatches are reported and the checker never
+false-positives on dynamic sizes.
+
+Three entry points:
+
+* :func:`check_encoder_config` / :func:`check_adtd_config` — validate a
+  config object (or mapping) by symbolically tracing the encoder stack and
+  the full ADTD double tower (attention head split, FFN round-trip, the
+  content tower's ``meta ⊕ content`` concatenation, column pooling, the
+  classifier input widths ``H+F`` and ``2H+F``).
+* :func:`infer_module_shape` — propagate a shape through an instantiated
+  module graph (Sequential chains, classifier heads), verifying every
+  Linear/LayerNorm against the actual parameter shapes.
+* :func:`check_tree` — the CLI engine: scans source files for literal
+  ``EncoderConfig(...)`` / ``ADTDConfig(...)`` constructions, completes
+  them with the dataclass defaults, and checks each one where it is
+  written.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Union
+
+from .findings import Finding
+from .lint import iter_python_files
+
+__all__ = [
+    "Dim",
+    "Shape",
+    "ShapeError",
+    "matmul_shape",
+    "concat_shape",
+    "check_encoder_config",
+    "check_adtd_config",
+    "infer_module_shape",
+    "register_shape_handler",
+    "check_tree",
+]
+
+Dim = Union[int, str]
+Shape = tuple[Dim, ...]
+
+
+class ShapeError(ValueError):
+    """A provable shape inconsistency in a model configuration or graph."""
+
+
+def _dims_compatible(a: Dim, b: Dim) -> bool:
+    """Symbols are compatible with anything; ints must match exactly."""
+    if isinstance(a, int) and isinstance(b, int):
+        return a == b
+    return True
+
+
+def _join(a: Dim, b: Dim) -> Dim:
+    """The more concrete of two compatible dims."""
+    return a if isinstance(a, int) else b
+
+
+def _add(a: Dim, b: Dim) -> Dim:
+    if isinstance(a, int) and isinstance(b, int):
+        return a + b
+    return f"{a}+{b}"
+
+
+def matmul_shape(a: Shape, b: Shape) -> Shape:
+    """Shape of ``a @ b`` under numpy batched-matmul rules."""
+    if len(a) < 2 or len(b) < 2:
+        raise ShapeError(f"matmul needs rank >= 2 operands, got {a} @ {b}")
+    if not _dims_compatible(a[-1], b[-2]):
+        raise ShapeError(
+            f"matmul inner dimension mismatch: {a} @ {b} "
+            f"({a[-1]} != {b[-2]})"
+        )
+    batch = a[:-2] if len(a) >= len(b) else b[:-2]
+    return (*batch, a[-2], b[-1])
+
+
+def concat_shape(shapes: Iterable[Shape], axis: int) -> Shape:
+    """Shape of concatenating ``shapes`` along ``axis``."""
+    shapes = list(shapes)
+    if not shapes:
+        raise ShapeError("concat of zero shapes")
+    rank = len(shapes[0])
+    if any(len(s) != rank for s in shapes):
+        raise ShapeError(f"concat of mismatched ranks: {shapes}")
+    axis = axis % rank
+    out: list[Dim] = []
+    for index in range(rank):
+        dims = [s[index] for s in shapes]
+        if index == axis:
+            total: Dim = dims[0]
+            for dim in dims[1:]:
+                total = _add(total, dim)
+            out.append(total)
+            continue
+        merged: Dim = dims[0]
+        for dim in dims[1:]:
+            if not _dims_compatible(merged, dim):
+                raise ShapeError(
+                    f"concat axis {index} mismatch: {shapes} ({merged} != {dim})"
+                )
+            merged = _join(merged, dim)
+        out.append(merged)
+    return tuple(out)
+
+
+def split_heads(shape: Shape, num_heads: int) -> Shape:
+    """``(B, T, H) -> (B, A, T, H/A)``; H must divide evenly."""
+    if len(shape) != 3:
+        raise ShapeError(f"head split expects (B, T, H), got {shape}")
+    hidden = shape[-1]
+    if isinstance(hidden, int):
+        if num_heads < 1:
+            raise ShapeError(f"num_heads must be >= 1, got {num_heads}")
+        if hidden % num_heads != 0:
+            raise ShapeError(
+                f"hidden_size {hidden} is not divisible by num_heads "
+                f"{num_heads} (head_dim would be {hidden / num_heads:.2f})"
+            )
+        head_dim: Dim = hidden // num_heads
+    else:
+        head_dim = f"{hidden}/{num_heads}"
+    return (shape[0], num_heads, shape[1], head_dim)
+
+
+# ----------------------------------------------------------------------
+# Config-level checking
+# ----------------------------------------------------------------------
+def _get(config: Any, name: str) -> Any:
+    if isinstance(config, Mapping):
+        return config[name]
+    return getattr(config, name)
+
+
+def _finding(message: str, origin: str, path: str = "", line: int = 0) -> Finding:
+    return Finding(
+        tool="shapes",
+        rule="RPR401",
+        message=f"{origin}: {message}" if origin else message,
+        path=path,
+        line=line,
+    )
+
+
+_ENCODER_POSITIVE = (
+    "num_layers", "num_heads", "hidden_size", "intermediate_size",
+    "max_seq_len", "vocab_size",
+)
+
+
+def check_encoder_config(
+    config: Any, origin: str = "EncoderConfig", path: str = "", line: int = 0
+) -> list[Finding]:
+    """Validate an encoder config by tracing one block symbolically."""
+    findings: list[Finding] = []
+    values: dict[str, Any] = {}
+    for name in (*_ENCODER_POSITIVE, "dropout_p"):
+        try:
+            values[name] = _get(config, name)
+        except (KeyError, AttributeError):
+            findings.append(_finding(f"missing field {name!r}", origin, path, line))
+            return findings
+    for name in _ENCODER_POSITIVE:
+        value = values[name]
+        if not isinstance(value, int) or value < 1:
+            findings.append(
+                _finding(f"{name} must be a positive int, got {value!r}", origin, path, line)
+            )
+    dropout = values["dropout_p"]
+    try:
+        dropout_ok = 0.0 <= float(dropout) < 1.0
+    except (TypeError, ValueError):
+        dropout_ok = False
+    if not dropout_ok:
+        findings.append(
+            _finding(f"dropout_p must be in [0, 1), got {dropout!r}", origin, path, line)
+        )
+    if findings:
+        return findings
+
+    hidden, heads = values["hidden_size"], values["num_heads"]
+    inter = values["intermediate_size"]
+    try:
+        # One encoder block, symbolically: attention head split + FFN.
+        x: Shape = ("B", "T", hidden)
+        attended = split_heads(x, heads)  # (B, A, T, H/A)
+        scores = matmul_shape(attended, (attended[0], attended[1], attended[3], attended[2]))
+        del scores
+        ffn_in = matmul_shape(x, (hidden, inter))
+        matmul_shape(ffn_in, (inter, hidden))  # residual add needs H back
+    except ShapeError as error:
+        findings.append(_finding(str(error), origin, path, line))
+    return findings
+
+
+_ADTD_POSITIVE = (
+    "num_labels", "meta_classifier_hidden", "content_classifier_hidden",
+    "max_column_id",
+)
+
+
+def check_adtd_config(
+    config: Any, origin: str = "ADTDConfig", path: str = "", line: int = 0
+) -> list[Finding]:
+    """Validate an ADTD config: encoder checks + double-tower trace."""
+    findings: list[Finding] = []
+    try:
+        encoder = _get(config, "encoder")
+    except (KeyError, AttributeError):
+        encoder = None
+    if encoder is not None:
+        findings.extend(
+            check_encoder_config(encoder, f"{origin}.encoder", path, line)
+        )
+
+    values: dict[str, Any] = {}
+    for name in (*_ADTD_POSITIVE, "numeric_dim"):
+        try:
+            values[name] = _get(config, name)
+        except (KeyError, AttributeError):
+            findings.append(_finding(f"missing field {name!r}", origin, path, line))
+            return findings
+    for name in _ADTD_POSITIVE:
+        value = values[name]
+        if not isinstance(value, int) or value < 1:
+            findings.append(
+                _finding(f"{name} must be a positive int, got {value!r}", origin, path, line)
+            )
+    numeric_dim = values["numeric_dim"]
+    if not isinstance(numeric_dim, int) or numeric_dim < 0:
+        findings.append(
+            _finding(f"numeric_dim must be a non-negative int, got {numeric_dim!r}", origin, path, line)
+        )
+    if findings or encoder is None:
+        return findings
+
+    hidden = _get(encoder, "hidden_size")
+    try:
+        # Double tower, symbolically (paper Sec. 4.2): metadata stream
+        # (B, M, H), content stream (B, T, H); content attends over the
+        # concatenation; columns pool to (B, C, H); heads read H+F / 2H+F.
+        meta: Shape = ("B", "M", hidden)
+        content: Shape = ("B", "T", hidden)
+        joint = concat_shape([meta, content], axis=1)  # (B, M+T, H)
+        split_heads((joint[0], joint[1], joint[2]), _get(encoder, "num_heads"))
+        pooled_meta = matmul_shape(("B", "C", "M"), meta)  # (B, C, H)
+        pooled_content = matmul_shape(("B", "C", "T"), content)
+        meta_features = concat_shape(
+            [pooled_meta, ("B", "C", numeric_dim)], axis=-1
+        )
+        content_features = concat_shape(
+            [pooled_content, pooled_meta, ("B", "C", numeric_dim)], axis=-1
+        )
+        # Classifier head input widths must match what the config wires up.
+        matmul_shape(meta_features, (hidden + numeric_dim, values["meta_classifier_hidden"]))
+        matmul_shape(
+            content_features,
+            (2 * hidden + numeric_dim, values["content_classifier_hidden"]),
+        )
+    except ShapeError as error:
+        findings.append(_finding(str(error), origin, path, line))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Instantiated module graphs
+# ----------------------------------------------------------------------
+_HANDLERS: dict[type, Callable[[Any, Shape], Shape]] = {}
+
+
+def register_shape_handler(module_cls: type):
+    """Decorator registering a shape-propagation handler for a module class."""
+
+    def wrap(handler: Callable[[Any, Shape], Shape]):
+        _HANDLERS[module_cls] = handler
+        return handler
+
+    return wrap
+
+
+def infer_module_shape(module: Any, input_shape: Shape) -> Shape:
+    """Propagate ``input_shape`` through ``module``; raises :class:`ShapeError`.
+
+    Handlers are registered for the ``repro.nn`` primitives; unknown module
+    types with a single obvious child (``network``) recurse into it.
+    """
+    _ensure_nn_handlers()
+    for cls in type(module).__mro__:
+        handler = _HANDLERS.get(cls)
+        if handler is not None:
+            return handler(module, input_shape)
+    child = getattr(module, "network", None)
+    if child is not None:
+        return infer_module_shape(child, input_shape)
+    raise ShapeError(f"no shape handler for module type {type(module).__name__}")
+
+
+_NN_READY = False
+
+
+def _ensure_nn_handlers() -> None:
+    """Register handlers for the repro.nn primitives on first use."""
+    global _NN_READY
+    if _NN_READY:
+        return
+    _NN_READY = True
+    from ..core.classifier import ClassifierHead
+    from ..nn import layers
+
+    @register_shape_handler(layers.Linear)
+    def _linear(module: Any, shape: Shape) -> Shape:
+        in_features, out_features = module.weight.shape
+        if len(shape) < 1 or not _dims_compatible(shape[-1], in_features):
+            raise ShapeError(
+                f"Linear expects last dim {in_features}, got input {shape}"
+            )
+        return (*shape[:-1], out_features)
+
+    @register_shape_handler(layers.LayerNorm)
+    def _layer_norm(module: Any, shape: Shape) -> Shape:
+        (hidden,) = module.weight.shape
+        if not _dims_compatible(shape[-1], hidden):
+            raise ShapeError(
+                f"LayerNorm normalizes width {hidden}, got input {shape}"
+            )
+        return shape
+
+    @register_shape_handler(layers.Embedding)
+    def _embedding(module: Any, shape: Shape) -> Shape:
+        return (*shape, module.weight.shape[1])
+
+    @register_shape_handler(layers.Sequential)
+    def _sequential(module: Any, shape: Shape) -> Shape:
+        for child in module._order:
+            shape = infer_module_shape(child, shape)
+        return shape
+
+    for identity_cls in (layers.ReLU, layers.GELU, layers.Dropout):
+
+        @register_shape_handler(identity_cls)
+        def _identity(module: Any, shape: Shape) -> Shape:
+            return shape
+
+    @register_shape_handler(ClassifierHead)
+    def _classifier_head(module: Any, shape: Shape) -> Shape:
+        hidden = infer_module_shape(module.hidden, shape)
+        return infer_module_shape(module.output, hidden)
+
+
+# ----------------------------------------------------------------------
+# Source scanning (the CLI engine)
+# ----------------------------------------------------------------------
+def _literal_kwargs(
+    call: ast.Call, allow_dynamic: frozenset[str] = frozenset()
+) -> dict[str, Any] | None:
+    """Constant keyword args of ``call``; ``None`` if the call is dynamic.
+
+    A call is only checkable when *every* kwarg is a literal (positional
+    args and ``**kwargs`` also disqualify it): completing a partially
+    dynamic call with dataclass defaults could report mismatches the real
+    values don't have. Fields in ``allow_dynamic`` are exempt because
+    their checks are independent of the other fields (``encoder=`` on
+    ``ADTDConfig`` — the encoder object is checked wherever it is built).
+    """
+    if call.args:
+        return None
+    values: dict[str, Any] = {}
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            return None
+        if isinstance(keyword.value, ast.Constant):
+            values[keyword.arg] = keyword.value.value
+        elif keyword.arg not in allow_dynamic:
+            return None
+    return values
+
+
+def _defaults_of(config_cls: type) -> dict[str, Any]:
+    defaults: dict[str, Any] = {}
+    for field in dataclasses.fields(config_cls):
+        if field.default is not dataclasses.MISSING:
+            defaults[field.name] = field.default
+    return defaults
+
+
+def scan_configs(paths: Iterable[str | Path]) -> tuple[list[Finding], int]:
+    """Statically check every literal config construction under ``paths``.
+
+    Returns ``(findings, checked_count)``.
+    """
+    from ..core.adtd import ADTDConfig
+    from ..nn.transformer import EncoderConfig
+
+    encoder_defaults = _defaults_of(EncoderConfig)
+    adtd_defaults = _defaults_of(ADTDConfig)
+    root = Path.cwd()
+    findings: list[Finding] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        try:
+            tree = ast.parse(file_path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue  # the lint engine reports parse failures
+        try:
+            rel = str(file_path.relative_to(root.resolve()))
+        except ValueError:
+            rel = str(file_path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+                node.func.id if isinstance(node.func, ast.Name) else ""
+            )
+            if name not in ("EncoderConfig", "ADTDConfig"):
+                continue
+            if name == "EncoderConfig":
+                literals = _literal_kwargs(node)
+                if literals is None:
+                    continue
+                checked += 1
+                merged = {**encoder_defaults, **literals}
+                findings.extend(
+                    check_encoder_config(merged, "EncoderConfig", rel, node.lineno)
+                )
+            else:
+                literals = _literal_kwargs(
+                    node, allow_dynamic=frozenset({"encoder", "num_labels"})
+                )
+                if literals is None:
+                    continue
+                checked += 1
+                merged = {**adtd_defaults, **literals}
+                merged.setdefault("num_labels", 1)  # required field, dynamic at site
+                merged.setdefault("encoder", None)
+                findings.extend(
+                    check_adtd_config(merged, "ADTDConfig", rel, node.lineno)
+                )
+    return findings, checked
+
+
+def check_tree(paths: Iterable[str | Path]) -> tuple[list[Finding], int]:
+    """The ``shapes`` CLI engine: builtin configs + every literal in ``paths``.
+
+    The builtin checks pin the shipped model family (default encoder, the
+    paper-scale encoder, a canonical ADTD wiring) so a bad refactor of the
+    dataclass defaults fails even with no literal call sites.
+    """
+    from ..core.adtd import ADTDConfig
+    from ..nn.transformer import EncoderConfig
+
+    findings = list(check_encoder_config(EncoderConfig(), "EncoderConfig()"))
+    findings.extend(check_encoder_config(EncoderConfig.paper(), "EncoderConfig.paper()"))
+    findings.extend(
+        check_adtd_config(
+            ADTDConfig(encoder=EncoderConfig(), num_labels=8),
+            "ADTDConfig(default)",
+        )
+    )
+    scanned, checked = scan_configs(paths)
+    findings.extend(scanned)
+    return findings, checked + 3

@@ -115,7 +115,7 @@ class BaselineDetector:
                     batch = collate([encoded])
                     with nn.no_grad():
                         logits = self.model(batch)
-                    probs = 1.0 / (1.0 + np.exp(-logits.data[0]))
+                    probs = 1.0 / (1.0 + np.exp(-logits.detach().numpy()[0]))
                     for local, column in enumerate(chunk.columns):
                         result.predictions.append(
                             ColumnPrediction(
@@ -175,7 +175,7 @@ def fine_tune_baseline(
             loss.backward()
             nn.clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
-            epoch_loss += float(loss.data)
+            epoch_loss += loss.item()
             batches += 1
         history.epoch_losses.append(epoch_loss / batches)
     history.seconds = time.perf_counter() - started

@@ -163,7 +163,7 @@ def train_sherlock(
             model.zero_grad()
             loss.backward()
             optimizer.step()
-            epoch_loss += float(loss.data)
+            epoch_loss += loss.item()
             batches += 1
         history.epoch_losses.append(epoch_loss / batches)
     model.eval()

@@ -141,7 +141,7 @@ def apply_feedback(
         optimizer.step()
 
         if step == 0:
-            initial_loss = float(loss.data)
-        final_loss = float(loss.data)
+            initial_loss = loss.item()
+        final_loss = loss.item()
     model.eval()
     return FeedbackStats(len(buffer), steps, initial_loss, final_loss)

@@ -70,6 +70,7 @@ class LatentCache:
         if not self.enabled:
             return
         metrics = self._metrics()
+        eviction_counter = metrics.counter("cache.evictions")
         with self._lock:
             if key in self._store:
                 self._store.move_to_end(key)
@@ -82,7 +83,7 @@ class LatentCache:
                 evicted_key, _ = self._store.popitem(last=False)
                 self.bytes -= self._sizes.pop(evicted_key, 0)
                 self.evictions += 1
-                metrics.counter("cache.evictions").inc()
+                eviction_counter.inc()
             metrics.gauge("cache.bytes").set(self.bytes)
             metrics.gauge("cache.entries").set(len(self._store))
 

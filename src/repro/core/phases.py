@@ -144,7 +144,7 @@ class TableJob:
             with nn.no_grad():
                 meta_layers = detector.model.encode_metadata(chunk.batch)
                 logits = detector.model.meta_logits(chunk.batch, meta_layers)
-            probs = _sigmoid(logits.data[0])  # (C, num_labels)
+            probs = _sigmoid(logits.detach().numpy()[0])  # (C, num_labels)
             chunk.meta_probs = probs
 
             cache_key = f"{self.table_name}#{chunk_index}"
@@ -237,7 +237,7 @@ class TableJob:
                     meta_layers = detector.model.encode_metadata(batch)
                 content_hidden = detector.model.encode_content(batch, meta_layers)
                 logits = detector.model.content_logits(batch, meta_layers, content_hidden)
-            probs = _sigmoid(logits.data[0])
+            probs = _sigmoid(logits.detach().numpy()[0])
 
             for local in local_content:
                 global_index = chunk.column_offset + local

@@ -116,7 +116,7 @@ def pretrain_mlm(
             loss.backward()
             nn.clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
-            epoch_loss += float(loss.data)
+            epoch_loss += loss.item()
             batches += 1
         history.epoch_losses.append(epoch_loss / batches)
     history.seconds = time.perf_counter() - started

@@ -129,9 +129,9 @@ def fine_tune(
                     nn.clip_grad_norm(model.parameters(), config.grad_clip)
                     optimizer.step()
                     schedule.step()
-                    epoch_total += float(loss.data)
-                    epoch_meta += float(meta_loss.data)
-                    epoch_content += float(content_loss.data)
+                    epoch_total += loss.item()
+                    epoch_meta += meta_loss.item()
+                    epoch_content += content_loss.item()
                     batches += 1
                 epoch_span.set(loss=epoch_total / batches)
             history.epoch_losses.append(epoch_total / batches)

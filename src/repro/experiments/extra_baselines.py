@@ -101,7 +101,7 @@ def run(scale: Scale | None = None) -> ExtraBaselinesResult:
     def sherlock_detect(values: list[str]) -> list[str]:
         features = sherlock_features(values)
         with nn.no_grad():
-            logits = sherlock(nn.Tensor(features[None, :])).data[0]
+            logits = sherlock(nn.Tensor(features[None, :])).detach().numpy()[0]
         probs = 1.0 / (1.0 + np.exp(-logits))
         return corpus.registry.vector_to_labels(probs, threshold=0.5)
 

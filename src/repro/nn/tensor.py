@@ -146,7 +146,17 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        """The value of a single-element tensor as a Python float.
+
+        The sanctioned way to read a scalar (e.g. a loss) out of the
+        graph: unlike ``float(t.data)`` it asserts the tensor really is
+        scalar instead of silently relying on numpy coercion.
+        """
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a single-element tensor, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing data but cut from the autograd graph."""

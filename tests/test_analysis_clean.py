@@ -1,0 +1,32 @@
+"""Tier-1 gate: the shipped tree stays clean under repro.analysis.
+
+Every future PR runs these with the regular suite, so a change that
+reintroduces an unlocked counter write, a silent autograd detach, or an
+inconsistent model configuration fails CI here — with the offending file
+and line in the assertion message.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import check_tree, lint_paths, render_findings
+from repro.analysis.races import self_check
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def test_source_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + render_findings(findings)
+
+
+def test_source_tree_is_shape_clean():
+    findings, checked = check_tree([SRC])
+    assert findings == [], "\n" + render_findings(findings)
+    assert checked >= 3  # builtin configs are always pinned
+
+
+def test_race_detector_self_check():
+    failures = list(self_check())
+    assert failures == [], "\n" + render_findings(failures)

@@ -1,0 +1,189 @@
+"""Symbolic shape checker: algebra, configs (one valid, three invalid ADTD
+variants), instantiated module graphs, and the source scanner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.shapes import (
+    ShapeError,
+    check_adtd_config,
+    check_encoder_config,
+    check_tree,
+    concat_shape,
+    infer_module_shape,
+    matmul_shape,
+    scan_configs,
+    split_heads,
+)
+from repro.core.adtd import ADTDConfig
+from repro.core.classifier import ClassifierHead
+from repro.nn import EncoderConfig, layers
+
+
+# ----------------------------------------------------------------------
+# The shape algebra
+# ----------------------------------------------------------------------
+def test_matmul_concrete():
+    assert matmul_shape(("B", "T", 64), (64, 128)) == ("B", "T", 128)
+
+
+def test_matmul_mismatch_raises():
+    with pytest.raises(ShapeError, match="inner dimension"):
+        matmul_shape(("B", "T", 64), (32, 128))
+
+
+def test_matmul_symbolic_is_permissive():
+    # Symbols stand for run-time sizes; never a provable mismatch.
+    assert matmul_shape(("B", "C", "T"), ("B", "T", 64)) == ("B", "C", 64)
+
+
+def test_concat_sums_axis_and_checks_rest():
+    assert concat_shape([("B", 5, 64), ("B", 7, 64)], axis=1) == ("B", 12, 64)
+    with pytest.raises(ShapeError, match="mismatch"):
+        concat_shape([("B", 5, 64), ("B", 7, 32)], axis=1)
+
+
+def test_split_heads_divisibility():
+    assert split_heads(("B", "T", 64), 4) == ("B", 4, "T", 16)
+    with pytest.raises(ShapeError, match="not divisible"):
+        split_heads(("B", "T", 64), 5)
+
+
+# ----------------------------------------------------------------------
+# Config checking: one valid, three invalid ADTD configurations
+# ----------------------------------------------------------------------
+def _adtd(**overrides) -> ADTDConfig:
+    encoder = overrides.pop("encoder", EncoderConfig())
+    defaults = dict(encoder=encoder, num_labels=8)
+    defaults.update(overrides)
+    return ADTDConfig(**defaults)
+
+
+def test_valid_adtd_config_is_clean():
+    assert check_adtd_config(_adtd()) == []
+
+
+def test_invalid_adtd_head_split():
+    # H=50 not divisible by A=4: the attention head split cannot exist.
+    config = _adtd(encoder=EncoderConfig(hidden_size=50, num_heads=4))
+    findings = check_adtd_config(config)
+    assert findings, "indivisible hidden/heads must be rejected"
+    assert any("not divisible" in f.message for f in findings)
+
+
+def test_invalid_adtd_no_labels():
+    findings = check_adtd_config(_adtd(num_labels=0))
+    assert any("num_labels" in f.message for f in findings)
+
+
+def test_invalid_adtd_zero_classifier_hidden():
+    findings = check_adtd_config(_adtd(meta_classifier_hidden=0))
+    assert any("meta_classifier_hidden" in f.message for f in findings)
+
+
+def test_invalid_adtd_negative_numeric_dim():
+    findings = check_adtd_config(_adtd(numeric_dim=-3))
+    assert any("numeric_dim" in f.message for f in findings)
+
+
+def test_encoder_config_zero_layers():
+    findings = check_encoder_config(EncoderConfig(num_layers=0))
+    assert any("num_layers" in f.message for f in findings)
+
+
+def test_encoder_config_bad_dropout():
+    findings = check_encoder_config(EncoderConfig(dropout_p=1.5))
+    assert any("dropout_p" in f.message for f in findings)
+
+
+def test_paper_scale_config_is_clean():
+    assert check_encoder_config(EncoderConfig.paper()) == []
+
+
+def test_mapping_configs_accepted():
+    # The source scanner hands in plain dicts (defaults + literals).
+    values = {
+        "num_layers": 2, "num_heads": 4, "hidden_size": 64,
+        "intermediate_size": 128, "max_seq_len": 256, "vocab_size": 2048,
+        "dropout_p": 0.1,
+    }
+    assert check_encoder_config(values) == []
+    values["hidden_size"] = 30
+    assert check_encoder_config(values) != []
+
+
+# ----------------------------------------------------------------------
+# Instantiated module graphs
+# ----------------------------------------------------------------------
+def test_sequential_propagation():
+    rng = np.random.default_rng(0)
+    net = layers.Sequential(
+        layers.Linear(4, 8, rng), layers.ReLU(), layers.Linear(8, 2, rng)
+    )
+    assert infer_module_shape(net, ("B", 4)) == ("B", 2)
+
+
+def test_sequential_mismatch_rejected():
+    rng = np.random.default_rng(0)
+    net = layers.Sequential(layers.Linear(4, 8, rng), layers.Linear(5, 2, rng))
+    with pytest.raises(ShapeError, match="Linear expects last dim 5"):
+        infer_module_shape(net, ("B", 4))
+
+
+def test_classifier_head_shape():
+    rng = np.random.default_rng(0)
+    head = ClassifierHead(70, 64, 8, rng)
+    assert infer_module_shape(head, ("B", "C", 70)) == ("B", "C", 8)
+    with pytest.raises(ShapeError):
+        infer_module_shape(head, ("B", "C", 71))
+
+
+def test_layer_norm_width_checked():
+    norm = layers.LayerNorm(64)
+    assert infer_module_shape(norm, ("B", "T", 64)) == ("B", "T", 64)
+    with pytest.raises(ShapeError, match="LayerNorm"):
+        infer_module_shape(norm, ("B", "T", 32))
+
+
+def test_unknown_module_rejected():
+    class Mystery:
+        pass
+
+    with pytest.raises(ShapeError, match="no shape handler"):
+        infer_module_shape(Mystery(), ("B", 4))
+
+
+# ----------------------------------------------------------------------
+# Source scanning
+# ----------------------------------------------------------------------
+def test_scan_finds_bad_literal_config(tmp_path):
+    source = tmp_path / "configs.py"
+    source.write_text(
+        "from repro.nn import EncoderConfig\n"
+        "GOOD = EncoderConfig(hidden_size=64, num_heads=4)\n"
+        "BAD = EncoderConfig(hidden_size=30, num_heads=4)\n"
+    )
+    findings, checked = scan_configs([tmp_path])
+    assert checked == 2
+    assert len(findings) == 1
+    assert findings[0].line == 3
+    assert "not divisible" in findings[0].message
+
+
+def test_scan_skips_dynamic_calls(tmp_path):
+    source = tmp_path / "dynamic.py"
+    source.write_text(
+        "from repro.nn import EncoderConfig\n"
+        "def build(h):\n"
+        "    return EncoderConfig(hidden_size=h, num_heads=4)\n"
+    )
+    findings, checked = scan_configs([tmp_path])
+    assert findings == [] and checked == 0
+
+
+def test_check_tree_includes_builtins(tmp_path):
+    findings, checked = check_tree([tmp_path])
+    assert findings == []
+    assert checked >= 3  # default encoder, paper encoder, canonical ADTD

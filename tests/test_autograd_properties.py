@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.nn import Tensor
@@ -78,4 +78,7 @@ def test_random_expression_gradients_match_numeric(expr):
     lp, _ = evaluate(ops, xp, np.random.default_rng(seed + 1))
     lm, _ = evaluate(ops, xm, np.random.default_rng(seed + 1))
     numeric = (float(lp.data) - float(lm.data)) / (2 * eps)
+    # Stacked exps can overflow float32 to inf/nan; neither gradient is
+    # meaningful there, so discard the example rather than compare noise.
+    assume(np.isfinite(numeric) and np.isfinite(analytic[index]))
     assert analytic[index] == pytest.approx(numeric, rel=5e-2, abs=5e-3)
