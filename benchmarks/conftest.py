@@ -11,9 +11,23 @@ import os
 
 import pytest
 
+from repro.core import DetectorConfig
 from repro.experiments.common import get_scale
+from repro.faults import FaultPlan
 
 
 @pytest.fixture(scope="session")
 def scale():
     return get_scale(os.environ.get("REPRO_SCALE", "small"))
+
+
+@pytest.fixture(scope="session")
+def detector_config():
+    """Default detector configuration shared by the benchmark suite."""
+    return DetectorConfig()
+
+
+@pytest.fixture
+def chaos_plan():
+    """A seeded mixed-fault plan for the chaos benchmark (deterministic)."""
+    return FaultPlan.chaos(rate=0.2, seed=7)

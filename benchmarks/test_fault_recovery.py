@@ -1,0 +1,94 @@
+"""Chaos benchmark: detection throughput and completeness under injected faults.
+
+Runs the full two-phase detector against the simulated cloud database
+while a seeded :class:`~repro.faults.FaultPlan` injects transient errors,
+connection drops and added latency into the query path. Asserts the
+resilience contract — every table appears in the report and the pipeline
+never raises — and records the recovery cost (wall time, retries,
+scanned ratio) at increasing fault rates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DetectOptions, DetectorConfig, RuntimeConfig, TasteDetector, ThresholdPolicy
+from repro.experiments.common import get_corpus, get_taste_model, make_server
+from repro.faults import FaultPlan, RetryPolicy
+from repro.obs import MetricsRegistry
+
+
+FAULT_RATES = (0.0, 0.1, 0.2, 0.4)
+
+
+def _detect_under_faults(scale, rate: float, pipelined: bool):
+    corpus = get_corpus("wikitable", scale)
+    model, featurizer = get_taste_model(corpus, scale)
+    metrics = MetricsRegistry()
+    detector = TasteDetector(
+        model,
+        featurizer,
+        ThresholdPolicy(0.1, 0.9),
+        config=DetectorConfig(pipelined=pipelined),
+        runtime=RuntimeConfig(
+            metrics=metrics,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=1e-4, max_delay=1e-3),
+        ),
+    )
+    server = make_server(corpus.test)
+    plan = FaultPlan.chaos(rate=rate, seed=11, delay=1e-4)
+    report = detector.detect(server, options=DetectOptions(fault_plan=plan))
+    return corpus, metrics, report
+
+
+@pytest.mark.parametrize("rate", FAULT_RATES)
+def test_recovery_under_fault_rate(benchmark, scale, rate):
+    def run():
+        return _detect_under_faults(scale, rate, pipelined=True)
+
+    corpus, metrics, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Completeness: every table survives the chaos, degraded or not.
+    assert sorted(t.table_name for t in report.tables) == sorted(
+        t.name for t in corpus.test
+    )
+    surviving = {t.name: t.num_columns for t in corpus.test}
+    for name in report.failed_tables():
+        surviving.pop(name)
+    assert report.num_columns == sum(surviving.values())
+    summary = report.failure_summary()
+    assert summary["tables"] == len(corpus.test)
+    if rate == 0.0:
+        assert report.ok
+        assert report.faults_injected == 0
+        assert report.retries == 0
+    else:
+        assert report.faults_injected > 0
+    # The pipelined executor must drain cleanly even when stages give up.
+    assert metrics.counter("pipeline.wait_timeouts").value == 0
+
+
+def test_recovery_sequential_matches_completeness(benchmark, scale, chaos_plan):
+    """Sequential execution under the shared chaos fixture stays complete."""
+
+    def run():
+        corpus = get_corpus("wikitable", scale)
+        model, featurizer = get_taste_model(corpus, scale)
+        detector = TasteDetector(
+            model,
+            featurizer,
+            ThresholdPolicy(0.1, 0.9),
+            config=DetectorConfig(pipelined=False),
+            runtime=RuntimeConfig(
+                retry_policy=RetryPolicy(max_attempts=4, base_delay=1e-4, max_delay=1e-3)
+            ),
+        )
+        report = detector.detect(
+            make_server(corpus.test), options=DetectOptions(fault_plan=chaos_plan)
+        )
+        return corpus, report
+
+    corpus, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sorted(t.table_name for t in report.tables) == sorted(
+        t.name for t in corpus.test
+    )
+    assert 0.0 <= report.scanned_ratio() <= 1.0

@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import BaselineDetector
-from repro.core import TasteDetector, ThresholdPolicy
+from repro.core import DetectorConfig, TasteDetector, ThresholdPolicy
 from repro.experiments.common import (
     get_baseline_model,
     get_corpus,
@@ -39,9 +39,11 @@ def _build_detector(variant: str, corpus, scale):
         model,
         featurizer,
         ThresholdPolicy(0.1, 0.9),
-        caching=variant != "taste_no_cache",
-        pipelined=variant != "taste_no_pipeline",
-        scan_method="sample" if variant == "taste_sampling" else "first",
+        config=DetectorConfig(
+            caching=variant != "taste_no_cache",
+            pipelined=variant != "taste_no_pipeline",
+            scan_method="sample" if variant == "taste_sampling" else "first",
+        ),
     )
     return detector, use_histogram
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core import TasteDetector, ThresholdPolicy
+from repro.core import DetectorConfig, TasteDetector, ThresholdPolicy
 from repro.experiments import fig7_alpha_beta
 from repro.experiments.common import get_corpus, get_taste_model, make_server
 
@@ -14,7 +14,7 @@ def test_fig7_one_sweep_point(benchmark, scale):
 
     def run():
         detector = TasteDetector(
-            model, featurizer, ThresholdPolicy(0.05, 0.95), pipelined=False
+            model, featurizer, ThresholdPolicy(0.05, 0.95), config=DetectorConfig(pipelined=False)
         )
         return detector.detect(make_server(corpus.test))
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import TasteDetector, ThresholdPolicy
+from repro.core import DetectorConfig, TasteDetector, ThresholdPolicy
 from repro.experiments import fig8_l_n
 from repro.experiments.common import get_corpus, get_featurizer, get_taste_model, make_server
 
@@ -26,7 +26,7 @@ def test_fig8a_detection_at_l(benchmark, scale, l_value):
 
     def run():
         detector = TasteDetector(
-            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+            model, featurizer, ThresholdPolicy(0.1, 0.9), config=DetectorConfig(pipelined=False)
         )
         return detector.detect(make_server(corpus.test))
 
@@ -42,7 +42,7 @@ def test_fig8b_detection_at_n(benchmark, scale, n_value):
 
     def run():
         detector = TasteDetector(
-            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+            model, featurizer, ThresholdPolicy(0.1, 0.9), config=DetectorConfig(pipelined=False)
         )
         return detector.detect(make_server(corpus.test))
 

@@ -27,7 +27,14 @@ from __future__ import annotations
 import time
 
 from repro import nn
-from repro.core import ADTDConfig, ADTDModel, TasteDetector, ThresholdPolicy
+from repro.core import (
+    ADTDConfig,
+    ADTDModel,
+    DetectorConfig,
+    RuntimeConfig,
+    TasteDetector,
+    ThresholdPolicy,
+)
 from repro.db import CloudDatabaseServer, CostModel
 from repro.features import FeatureConfig, Featurizer, corpus_texts
 from repro.datagen import make_wikitable_corpus
@@ -67,9 +74,8 @@ def _run_once(model, featurizer, tables, metrics) -> float:
         model,
         featurizer,
         ThresholdPolicy(0.1, 0.9),
-        pipelined=True,
-        tracer=Tracer(enabled=False),
-        metrics=metrics,
+        config=DetectorConfig(pipelined=True),
+        runtime=RuntimeConfig(tracer=Tracer(enabled=False), metrics=metrics),
     )
     started = time.perf_counter()
     detector.detect(server)

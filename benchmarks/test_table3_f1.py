@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core import TasteDetector, ThresholdPolicy
+from repro.core import DetectorConfig, TasteDetector, ThresholdPolicy
 from repro.experiments import table3_f1
 from repro.experiments.common import get_corpus, get_taste_model, make_server
 from repro.metrics import ground_truth_map, micro_prf
@@ -16,7 +16,7 @@ def test_table3_taste_detection(benchmark, scale):
 
     def detect():
         detector = TasteDetector(
-            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+            model, featurizer, ThresholdPolicy(0.1, 0.9), config=DetectorConfig(pipelined=False)
         )
         return detector.detect(make_server(corpus.test))
 

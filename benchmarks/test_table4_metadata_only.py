@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core import TasteDetector, ThresholdPolicy
+from repro.core import DetectorConfig, TasteDetector, ThresholdPolicy
 from repro.experiments import table4_metadata_only
 from repro.experiments.common import get_corpus, get_taste_model, make_server
 
@@ -14,7 +14,7 @@ def test_table4_privacy_detection(benchmark, scale):
 
     def detect():
         detector = TasteDetector(
-            model, featurizer, ThresholdPolicy.privacy_mode(), pipelined=False
+            model, featurizer, ThresholdPolicy.privacy_mode(), config=DetectorConfig(pipelined=False)
         )
         return detector.detect(make_server(corpus.test))
 

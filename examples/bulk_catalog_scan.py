@@ -14,7 +14,15 @@ from __future__ import annotations
 import os
 
 from repro import nn
-from repro.core import ADTDConfig, ADTDModel, TasteDetector, ThresholdPolicy, TrainConfig, fine_tune
+from repro.core import (
+    ADTDConfig,
+    ADTDModel,
+    DetectorConfig,
+    TasteDetector,
+    ThresholdPolicy,
+    TrainConfig,
+    fine_tune,
+)
 from repro.datagen import make_gittables_corpus
 from repro.db import CloudDatabaseServer, CostModel
 from repro.features import FeatureConfig, Featurizer, corpus_texts
@@ -57,7 +65,8 @@ def main() -> None:
     for mode, pipelined in (("sequential", False), ("pipelined", True)):
         server = CloudDatabaseServer.from_tables(corpus.test, CLOUD_LATENCY)
         detector = TasteDetector(
-            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=pipelined
+            model, featurizer, ThresholdPolicy(0.1, 0.9),
+            config=DetectorConfig(pipelined=pipelined),
         )
         report = detector.detect(server)
         timings[mode] = report.wall_seconds

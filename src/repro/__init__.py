@@ -11,6 +11,9 @@ Subpackages
     Synthetic WikiTable-like / GitTables-like corpora.
 ``repro.db``
     Simulated cloud database (RDS-MySQL stand-in) with cost accounting.
+``repro.faults``
+    Deterministic fault injection (latency, transient errors, connection
+    drops) and the retry/backoff policy the framework recovers with.
 ``repro.features``
     Featurization of metadata and content into model inputs.
 ``repro.core``
@@ -27,15 +30,16 @@ Subpackages
     One module per table/figure of the paper's evaluation.
 """
 
-from . import baselines, core, datagen, db, features, metrics, nn, obs, text
+from . import baselines, core, datagen, db, faults, features, metrics, nn, obs, text
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
     "text",
     "datagen",
     "db",
+    "faults",
     "features",
     "core",
     "baselines",

@@ -1,6 +1,6 @@
 """Repo-specific lint rules (the ``RPR`` catalogue).
 
-Three families, matching the places where this codebase's bugs are silent
+Four families, matching the places where this codebase's bugs are silent
 until a long run hits them:
 
 * **RPR1xx — autograd safety.** The hand-rolled :class:`repro.nn.Tensor`
@@ -17,6 +17,13 @@ until a long run hits them:
   is created and dropped never records), and metric handles must be
   hoisted out of loops (``registry.counter(...)`` takes the registry lock
   per call).
+* **RPR4xx — model configuration and resilience.** ``RPR401`` belongs to
+  the shape checker (inconsistent model configuration). From ``RPR402``
+  on, resilience hygiene: cloud-database calls fail transiently by design
+  (see :mod:`repro.faults`); a bare ``except Exception`` around them
+  swallows the retryable/permanent distinction. Such call sites should go
+  through :class:`repro.faults.RetryPolicy`, which retries only
+  fault-class errors and surfaces give-ups.
 
 Every rule can be silenced on a line with ``# noqa: RPR###`` — visible,
 greppable exceptions instead of silent drift.
@@ -436,6 +443,74 @@ class MetricHandleInLoop(Rule):
                     f"{ast.unparse(node.func)}({node.args[0].value!r}) "
                     "get-or-creates the series (registry lock + dict lookup) "
                     "every iteration; hoist the handle out of the loop",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR4xx — resilience hygiene
+# ----------------------------------------------------------------------
+@register
+class BroadExceptAroundDBCall(Rule):
+    id = "RPR402"
+    name = "faults-broad-except-db"
+    description = (
+        "broad 'except Exception' around a cloud-db call swallows transient "
+        "faults; route the call through repro.faults.RetryPolicy"
+    )
+
+    # The typed Connection / pool surface that crosses the simulated network.
+    _DB_OPS = {
+        "fetch_metadata",
+        "fetch_values",
+        "list_tables",
+        "analyze_table",
+        "connect",
+        "acquire",
+        "lease",
+    }
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:  # bare except:
+            return True
+        types = (
+            handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+        )
+        for node in types:
+            chain = _attr_chain(node)
+            name = chain[-1] if chain else None
+            if name in self._BROAD:
+                return True
+        return False
+
+    def _db_calls(self, body: list[ast.stmt]) -> Iterator[ast.Call]:
+        for statement in body:
+            for node in ast.walk(statement):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._DB_OPS
+                ):
+                    yield node
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            calls = list(self._db_calls(node.body))
+            if not calls:
+                continue
+            for handler in node.handlers:
+                if not self._is_broad(handler):
+                    continue
+                operations = sorted({call.func.attr for call in calls})  # type: ignore[union-attr]
+                yield ctx.finding(
+                    self,
+                    handler,
+                    f"broad except around db call(s) {', '.join(operations)} "
+                    "hides the transient/permanent distinction; wrap the call "
+                    "in RetryPolicy.run() and catch RetryGiveUpError instead",
+                    operations=operations,
                 )
 
 

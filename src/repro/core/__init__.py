@@ -2,6 +2,7 @@
 
 from .adtd import ADTDConfig, ADTDModel, gather_positions
 from .classifier import ClassifierHead
+from .config import DetectOptions, DetectorConfig, RuntimeConfig
 from .detector import TasteDetector
 from .extension import (
     ExtensionResult,
@@ -24,6 +25,9 @@ __all__ = [
     "gather_positions",
     "ClassifierHead",
     "TasteDetector",
+    "DetectorConfig",
+    "RuntimeConfig",
+    "DetectOptions",
     "extend_registry",
     "extend_model",
     "incremental_fine_tune",

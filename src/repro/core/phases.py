@@ -24,6 +24,7 @@ import numpy as np
 from .. import nn
 from ..db.connection import Connection
 from ..db.schema import TableMetadata
+from ..faults.errors import DeadlineExceededError, RetryGiveUpError
 from ..features.encoding import Batch, collate, split_metadata
 from ..obs import NULL_METRICS, NULL_TRACER
 from .latent_cache import CachedEncoding
@@ -91,6 +92,12 @@ class TableJob:
         stage name and its resource kind; :class:`TableResult`'s per-stage
         seconds are populated from the span (or from a bare clock pair when
         tracing is disabled).
+
+        Data-preparation stages (the only ones that touch the connection)
+        run under the detector's :class:`~repro.faults.RetryPolicy`: a
+        retryable fault is retried with backoff, and exhausted retries
+        either degrade the table (``runtime.degrade=True``, the default) or
+        re-raise. Inference stages never touch the network and run bare.
         """
         stage = self.completed_stages
         runner = (
@@ -104,25 +111,94 @@ class TableJob:
         metrics = getattr(self.detector, "metrics", None)
         metrics = NULL_METRICS if metrics is None else metrics
         name, kind = STAGE_NAMES[stage], STAGE_KINDS[stage]
+        if kind == "prep":
+            call = lambda: self._run_prep_stage(runner, name, stage, metrics)
+        else:
+            call = runner
         if tracer.enabled:
             with tracer.span(
                 f"stage.{name}", table=self.table_name, stage=name, kind=kind, index=stage
             ) as span:
-                runner()
+                call()
+                if self.result.retries:
+                    span.set(retries=self.result.retries)
+                if self.result.degraded:
+                    span.set(degraded=True)
+                if self.result.failed:
+                    span.set(failed=True)
             elapsed = span.duration
         else:
             started = time.perf_counter()
-            runner()
+            call()
             elapsed = time.perf_counter() - started
         metrics.histogram("pipeline.stage_seconds", stage=name).observe(elapsed)
         attr = ("prepare1_seconds", "infer1_seconds", "prepare2_seconds", "infer2_seconds")[stage]
         setattr(self.result, attr, elapsed)
-        self.completed_stages = stage + 1
+        self.completed_stages = max(self.completed_stages, stage + 1)
+
+    # ------------------------------------------------------------------
+    # Resilience: retries and graceful degradation for prep stages
+    # ------------------------------------------------------------------
+    def _run_prep_stage(self, runner, name: str, stage: int, metrics) -> None:
+        """Run an I/O stage under the detector's retry policy.
+
+        Only *fault-class* errors (see ``RetryPolicy.retryable``) are
+        retried and, on give-up, degraded; anything else — unknown table,
+        SQL error, model bug — propagates unchanged on first occurrence.
+        """
+        detector = self.detector
+        policy = getattr(detector, "retry_policy", None)
+        if policy is None:
+            runner()
+            return
+        retry_counter = metrics.counter("faults.retries", stage=name)
+
+        def on_retry(error: BaseException, attempt: int, delay: float) -> None:
+            retry_counter.inc()
+            self.result.retries += 1
+
+        try:
+            policy.run(runner, label=f"{name}[{self.table_name}]", on_retry=on_retry)
+        except RetryGiveUpError as error:
+            metrics.counter("faults.giveups", stage=name).inc()
+            if isinstance(error, DeadlineExceededError):
+                metrics.counter("faults.deadline_exceeded", stage=name).inc()
+            if not getattr(detector, "degrade", True):
+                raise
+            self._give_up(stage, error, metrics)
+
+    def _give_up(self, stage: int, error: RetryGiveUpError, metrics) -> None:
+        """Record a permanent stage failure and degrade gracefully.
+
+        A Phase-1 give-up means the table has no metadata at all: it is
+        marked ``failed`` with zero predictions. A Phase-2 give-up keeps
+        the Phase-1 (metadata-only) predictions: columns that were headed
+        for content verification are reverted to phase 1 and flagged
+        ``degraded``. Either way, remaining stages are skipped and the
+        table still appears in the final report.
+        """
+        self.result.error = str(error)
+        if stage == 0:
+            self.result.failed = True
+            self.result.predictions = []
+            metrics.counter("detector.tables_failed").inc()
+        else:
+            self.result.degraded = True
+            self.content_by_column.clear()
+            for prediction in self.result.predictions:
+                if prediction.phase == 2:
+                    prediction.phase = 1
+                    prediction.degraded = True
+            metrics.counter("detector.tables_degraded").inc()
+        self.completed_stages = self.num_stages
 
     # ------------------------------------------------------------------
     # Stage 1: P1 data preparation (I/O)
     # ------------------------------------------------------------------
     def prepare_phase1(self) -> None:
+        # Reset chunk state first: a retried attempt must not duplicate
+        # the chunks a half-failed earlier attempt may have appended.
+        self.chunks = []
         self.metadata = self.connection.fetch_metadata(self.table_name)
         threshold = self.detector.featurizer.config.column_split_threshold
         offset = 0

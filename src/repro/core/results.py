@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -14,7 +15,9 @@ class ColumnPrediction:
     """Final decision for one column.
 
     ``phase`` records where the decision was made: 1 if Phase 1 was certain,
-    2 if the column went through content verification.
+    2 if the column went through content verification. ``degraded`` marks a
+    column that *should* have gone through Phase 2 but fell back to its
+    metadata-only prediction because the content scan kept failing.
     """
 
     table_name: str
@@ -23,11 +26,19 @@ class ColumnPrediction:
     phase: int
     probabilities: np.ndarray
     uncertain_types: list[str] = field(default_factory=list)
+    degraded: bool = False
 
 
 @dataclass
 class TableResult:
-    """All column predictions for one table plus per-stage timings."""
+    """All column predictions for one table plus per-stage timings.
+
+    Resilience bookkeeping: ``retries`` counts retried data-preparation
+    attempts for this table; ``degraded`` means the Phase-2 content scan
+    ultimately failed and the table fell back to Phase-1 predictions;
+    ``failed`` means even the Phase-1 metadata fetch failed (no
+    predictions at all). ``error`` holds the final underlying error text.
+    """
 
     table_name: str
     predictions: list[ColumnPrediction]
@@ -35,6 +46,10 @@ class TableResult:
     infer1_seconds: float = 0.0
     prepare2_seconds: float = 0.0
     infer2_seconds: float = 0.0
+    retries: int = 0
+    degraded: bool = False
+    failed: bool = False
+    error: str | None = None
 
     @property
     def num_uncertain(self) -> int:
@@ -43,7 +58,13 @@ class TableResult:
 
 @dataclass
 class DetectionReport:
-    """Aggregate result of a detection run over many tables."""
+    """Aggregate result of a detection run over many tables.
+
+    A run under fault injection still returns a *complete* report: every
+    requested table appears in ``tables``, with ``degraded``/``failed``
+    markers where retries ran out. ``failure_summary()`` condenses the
+    resilience outcome of the run.
+    """
 
     tables: list[TableResult]
     wall_seconds: float
@@ -52,6 +73,9 @@ class DetectionReport:
     cache_misses: int = 0
     cache_evictions: int = 0
     cache_disabled_lookups: int = 0
+    retries: int = 0
+    giveups: int = 0
+    faults_injected: int = 0
 
     @property
     def predictions(self) -> list[ColumnPrediction]:
@@ -72,4 +96,43 @@ class DetectionReport:
         """``{(table, column): admitted types}`` for metric computation."""
         return {
             (p.table_name, p.column_name): p.admitted_types for p in self.predictions
+        }
+
+    # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """Whether every table completed both phases without degradation."""
+        return not any(table.degraded or table.failed for table in self.tables)
+
+    def degraded_tables(self) -> list[str]:
+        """Tables that fell back to Phase-1 (metadata-only) predictions."""
+        return [table.table_name for table in self.tables if table.degraded]
+
+    def failed_tables(self) -> list[str]:
+        """Tables whose metadata fetch itself gave up (no predictions)."""
+        return [table.table_name for table in self.tables if table.failed]
+
+    def failure_summary(self) -> dict[str, Any]:
+        """Condensed resilience outcome of the run (always present).
+
+        ``{"ok": bool, "tables": N, "degraded": [...], "failed": [...],
+        "degraded_columns": N, "retries": N, "giveups": N,
+        "faults_injected": N, "errors": {table: message}}``
+        """
+        return {
+            "ok": self.ok,
+            "tables": len(self.tables),
+            "degraded": self.degraded_tables(),
+            "failed": self.failed_tables(),
+            "degraded_columns": sum(1 for p in self.predictions if p.degraded),
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "faults_injected": self.faults_injected,
+            "errors": {
+                table.table_name: table.error
+                for table in self.tables
+                if table.error is not None
+            },
         }

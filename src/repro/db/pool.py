@@ -4,15 +4,28 @@ The paper recommends batching tables from a common database so the
 (costly) connection setup is paid once and reused (Sec. 5). The pool makes
 that reuse explicit and measurable: acquiring a pooled connection is free;
 only pool growth pays :attr:`CostModel.connect_latency`.
+
+Blocking acquires wait on a condition variable that ``release`` notifies,
+recomputing the remaining deadline on every wakeup — a spurious wakeup can
+never stretch the wait past the caller's ``timeout``. Exhaustions are
+counted in the ``db.pool.exhausted`` metric. An optional
+:class:`~repro.faults.RetryPolicy` retries *connection creation* (the one
+operation that crosses the network), counted in ``db.pool.retries``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
+from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
 from .connection import Connection
 from .server import CloudDatabaseServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.retry import RetryPolicy
 
 __all__ = ["ConnectionPool", "PoolStats", "PoolExhaustedError"]
 
@@ -42,18 +55,35 @@ class ConnectionPool:
         pool = ConnectionPool(server, max_size=4)
         with pool.lease() as conn:
             conn.fetch_metadata("orders_1")
+
+    ``connect`` overrides how new connections are made (e.g.
+    ``FaultInjector.connect`` for fault-wrapped connections); the default
+    is ``server.connect``. ``retry_policy`` retries transient failures of
+    that factory.
     """
 
-    def __init__(self, server: CloudDatabaseServer, max_size: int = 4) -> None:
+    def __init__(
+        self,
+        server: CloudDatabaseServer,
+        max_size: int = 4,
+        retry_policy: "RetryPolicy | None" = None,
+        connect: Callable[[], Connection] | None = None,
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    ) -> None:
         if max_size < 1:
             raise ValueError("max_size must be at least 1")
         self._server = server
         self._max_size = max_size
+        self._retry_policy = retry_policy
+        self._connect_factory = connect
+        metrics = metrics if metrics is not None else global_registry()
+        self._exhausted_counter = metrics.counter("db.pool.exhausted")
+        self._retry_counter = metrics.counter("db.pool.retries")
         self._idle: list[Connection] = []
         self._created = 0
         self._acquired = 0
         self._reused = 0
-        self._lock = threading.Lock()
+        self._lock = threading.Condition()
 
     # ------------------------------------------------------------------
     def acquire(self, block: bool = False, timeout: float = 5.0) -> Connection:
@@ -61,10 +91,9 @@ class ConnectionPool:
 
         With ``block=False`` (default) a :class:`PoolExhaustedError` is
         raised when the pool is at capacity with nothing idle; with
-        ``block=True`` the caller waits up to ``timeout`` seconds.
+        ``block=True`` the caller waits up to ``timeout`` seconds, waking
+        on every release and re-checking the remaining deadline.
         """
-        import time
-
         deadline = time.monotonic() + timeout
         while True:
             with self._lock:
@@ -76,20 +105,48 @@ class ConnectionPool:
                     self._created += 1
                     break  # create outside the lock (it sleeps)
                 self._acquired -= 1  # did not hand anything out
-            if not block or time.monotonic() >= deadline:
+                if block:
+                    remaining = deadline - time.monotonic()
+                    if remaining > 0:
+                        # Spurious-wakeup safe: the loop recomputes the
+                        # remaining wait, so we never oversleep the deadline.
+                        self._lock.wait(timeout=remaining)
+                        continue
+                self._exhausted_counter.inc()
                 raise PoolExhaustedError(
                     f"pool at capacity ({self._max_size}) with no idle connections"
+                    + (f" after waiting {timeout:.3f}s" if block else "")
                 )
-            time.sleep(0.005)
-        return self._server.connect()
+        try:
+            return self._new_connection()
+        except BaseException:
+            with self._lock:
+                self._created -= 1
+                self._lock.notify_all()
+            raise
+
+    def _new_connection(self) -> Connection:
+        factory = (
+            self._connect_factory
+            if self._connect_factory is not None
+            else self._server.connect
+        )
+        if self._retry_policy is None:
+            return factory()
+        return self._retry_policy.run(
+            factory,
+            label="pool.connect",
+            on_retry=lambda error, attempt, delay: self._retry_counter.inc(),
+        )
 
     def release(self, connection: Connection) -> None:
         """Return a connection for reuse (closed connections are dropped)."""
         with self._lock:
             if connection._closed:  # noqa: SLF001 - pool owns its connections
                 self._created -= 1
-                return
-            self._idle.append(connection)
+            else:
+                self._idle.append(connection)
+            self._lock.notify_all()
 
     def lease(self) -> "_Lease":
         """Context manager acquiring on enter and releasing on exit."""
@@ -102,6 +159,7 @@ class ConnectionPool:
                 connection.close()
             self._created -= len(self._idle)
             self._idle.clear()
+            self._lock.notify_all()
 
     @property
     def stats(self) -> PoolStats:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core import TasteDetector, ThresholdPolicy
+from ..core import DetectorConfig, TasteDetector, ThresholdPolicy
 from ..metrics import ground_truth_map, micro_prf, render_table
 from .common import Scale, get_corpus, get_scale, get_taste_model, make_server
 
@@ -62,11 +62,12 @@ def run(scale: Scale | None = None) -> AblationResult:
         model, featurizer = get_taste_model(
             corpus, scale, automatic_weighting=automatic
         )
+        sequential = DetectorConfig(pipelined=False)
         full = TasteDetector(
-            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+            model, featurizer, ThresholdPolicy(0.1, 0.9), config=sequential
         ).detect(make_server(corpus.test))
         meta_only = TasteDetector(
-            model, featurizer, ThresholdPolicy.privacy_mode(), pipelined=False
+            model, featurizer, ThresholdPolicy.privacy_mode(), config=sequential
         ).detect(make_server(corpus.test))
         rows.append(
             AblationRow(

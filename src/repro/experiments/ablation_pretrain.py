@@ -15,6 +15,7 @@ from .. import nn
 from ..core import (
     ADTDConfig,
     ADTDModel,
+    DetectorConfig,
     PretrainConfig,
     TasteDetector,
     ThresholdPolicy,
@@ -103,7 +104,7 @@ def run(scale: Scale | None = None) -> PretrainAblationResult:
             nn.save_checkpoint(model, path)
 
         report = TasteDetector(
-            model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+            model, featurizer, ThresholdPolicy(0.1, 0.9), config=DetectorConfig(pipelined=False)
         ).detect(make_server(corpus.test))
         rows.append(
             PretrainRow(

@@ -22,7 +22,7 @@ from ..baselines import (
     sherlock_features,
     train_sherlock,
 )
-from ..core import TasteDetector, ThresholdPolicy
+from ..core import DetectorConfig, TasteDetector, ThresholdPolicy
 from ..metrics import ground_truth_map, micro_prf, render_table
 from .common import Scale, get_corpus, get_scale, get_taste_model, make_server
 
@@ -113,7 +113,7 @@ def run(scale: Scale | None = None) -> ExtraBaselinesResult:
     # TASTE (cached model) for reference.
     model, featurizer = get_taste_model(corpus, scale)
     report = TasteDetector(
-        model, featurizer, ThresholdPolicy(0.1, 0.9), pipelined=False
+        model, featurizer, ThresholdPolicy(0.1, 0.9), config=DetectorConfig(pipelined=False)
     ).detect(make_server(corpus.test))
     prf = micro_prf(report.predicted_labels(), ground_truth)
     rows.append(BaselineRow("taste", prf.precision, prf.recall, prf.f1, True))

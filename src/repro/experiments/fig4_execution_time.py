@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..baselines import BaselineDetector
-from ..core import TasteDetector, ThresholdPolicy
+from ..core import DetectorConfig, RuntimeConfig, TasteDetector, ThresholdPolicy
 from ..metrics import RunTiming, render_table
 from ..obs import Tracer
 from .common import (
@@ -115,12 +115,14 @@ def _run_variant(
                 model,
                 featurizer,
                 ThresholdPolicy(0.1, 0.9),
-                caching=variant != "taste_no_cache",
-                pipelined=variant != "taste_no_pipeline",
-                scan_method="sample" if variant == "taste_sampling" else "first",
+                config=DetectorConfig(
+                    caching=variant != "taste_no_cache",
+                    pipelined=variant != "taste_no_pipeline",
+                    scan_method="sample" if variant == "taste_sampling" else "first",
+                ),
                 # Trace only when asked: timing runs should measure the
                 # disabled-tracer fast path, like production defaults.
-                tracer=Tracer(enabled=trace_path is not None),
+                runtime=RuntimeConfig(tracer=Tracer(enabled=trace_path is not None)),
             )
             report = detector.detect(server, trace_out=trace_path)
         samples.append(report.wall_seconds)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core import TasteDetector, ThresholdPolicy
+from ..core import DetectorConfig, TasteDetector, ThresholdPolicy
 from ..metrics import ground_truth_map, micro_prf, render_table
 from .common import Scale, get_corpus, get_scale, get_taste_model, make_server
 
@@ -58,7 +58,7 @@ class Fig7Result:
 
 def _measure(model, featurizer, tables, ground_truth, alpha: float, beta: float) -> SweepPoint:
     detector = TasteDetector(
-        model, featurizer, ThresholdPolicy(alpha, beta), pipelined=False
+        model, featurizer, ThresholdPolicy(alpha, beta), config=DetectorConfig(pipelined=False)
     )
     report = detector.detect(make_server(tables))
     prf = micro_prf(report.predicted_labels(), ground_truth)

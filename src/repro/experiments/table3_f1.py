@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..baselines import BaselineDetector
-from ..core import TasteDetector, ThresholdPolicy
+from ..core import DetectorConfig, TasteDetector, ThresholdPolicy
 from ..metrics import ground_truth_map, micro_prf, render_table
 from .common import (
     Scale,
@@ -108,8 +108,10 @@ def evaluate_corpus(corpus_name: str, scale: Scale) -> list[ApproachResult]:
                 model,
                 featurizer,
                 ThresholdPolicy(0.1, 0.9),
-                pipelined=False,
-                scan_method="sample" if approach == "taste_sampling" else "first",
+                config=DetectorConfig(
+                    pipelined=False,
+                    scan_method="sample" if approach == "taste_sampling" else "first",
+                ),
             )
             server = make_server(corpus.test, analyze=use_histogram)
             report = detector.detect(server)

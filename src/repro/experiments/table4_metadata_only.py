@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..baselines import BaselineDetector
-from ..core import TasteDetector, ThresholdPolicy
+from ..core import DetectorConfig, TasteDetector, ThresholdPolicy
 from ..metrics import ground_truth_map, micro_prf, render_table
 from .common import (
     Scale,
@@ -78,7 +78,10 @@ def run(scale: Scale | None = None) -> Table4Result:
             if approach == "taste":
                 model, featurizer = get_taste_model(corpus, scale)
                 detector = TasteDetector(
-                    model, featurizer, ThresholdPolicy.privacy_mode(), pipelined=False
+                    model,
+                    featurizer,
+                    ThresholdPolicy.privacy_mode(),
+                    config=DetectorConfig(pipelined=False),
                 )
                 report = detector.detect(make_server(corpus.test))
             else:

@@ -1,0 +1,51 @@
+"""Fault and retry exception hierarchy.
+
+Kept free of any ``repro`` imports so both :mod:`repro.faults.retry` and
+:mod:`repro.db.pool` can depend on it without import cycles.
+
+``FaultError`` subclasses model the *transient* failure modes of a cloud
+database reached over a VPC (the paper's ECS <-> RDS setup): a query that
+times out or hits a deadlock (:class:`TransientDBError`) and a TCP
+connection that dies mid-batch (:class:`ConnectionDroppedError`). Both are
+retryable by default; anything else (unknown table, SQL error, model bug)
+is a programming error and propagates unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "TransientDBError",
+    "ConnectionDroppedError",
+    "RetryGiveUpError",
+    "DeadlineExceededError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for injected (or real) transient cloud-database faults."""
+
+
+class TransientDBError(FaultError):
+    """A query failed transiently (timeout, deadlock, failover blip)."""
+
+
+class ConnectionDroppedError(FaultError):
+    """The connection died mid-operation; a reconnect is required."""
+
+
+class RetryGiveUpError(RuntimeError):
+    """All retry attempts were consumed without success.
+
+    ``last_error`` holds the final underlying failure and ``attempts`` the
+    total number of attempts made (including the first).
+    """
+
+    def __init__(self, message: str, last_error: BaseException | None = None, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
+class DeadlineExceededError(RetryGiveUpError):
+    """The per-call deadline left no room for another retry attempt."""

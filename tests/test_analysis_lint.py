@@ -335,3 +335,57 @@ def test_cli_shapes_on_clean_dir(tmp_path, capsys, command):
         "CFG = EncoderConfig(hidden_size=64, num_heads=4)\n"
     )
     assert main([command, str(tmp_path)]) == 0
+
+
+# ----------------------------------------------------------------------
+# RPR4xx — fault handling
+# ----------------------------------------------------------------------
+def test_rpr401_broad_except_around_db_call(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def fetch(connection, name):\n"
+        "    try:\n"
+        "        return connection.fetch_metadata(name)\n"
+        "    except Exception:\n"
+        "        return None\n",
+    )
+    assert _rules_hit(findings) == {"RPR402"}
+    assert "fetch_metadata" in findings[0].message
+
+
+def test_rpr401_bare_except(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def scan(pool):\n"
+        "    try:\n"
+        "        with pool.lease() as conn:\n"
+        "            return conn.fetch_values('t', ['c'])\n"
+        "    except:\n"
+        "        return {}\n",
+    )
+    assert _rules_hit(findings) == {"RPR402"}
+
+
+def test_rpr401_quiet_on_narrow_except(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "from repro.faults import RetryGiveUpError\n"
+        "def fetch(connection, name):\n"
+        "    try:\n"
+        "        return connection.fetch_metadata(name)\n"
+        "    except RetryGiveUpError:\n"
+        "        return None\n",
+    )
+    assert findings == []
+
+
+def test_rpr401_quiet_without_db_call(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def parse(blob):\n"
+        "    try:\n"
+        "        return int(blob)\n"
+        "    except Exception:\n"
+        "        return 0\n",
+    )
+    assert findings == []

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro.datagen import TableGenConfig, generate_table
 from repro.db import CloudDatabaseServer, ConnectionPool, CostModel, PoolExhaustedError
+from repro.faults import RetryPolicy, TransientDBError
+from repro.obs import MetricsRegistry
 
 FAST = CostModel(time_scale=0.0)
 
@@ -111,3 +114,81 @@ class TestStats:
             thread.join()
         assert not errors
         assert pool.stats.acquired == 200
+
+
+class TestDeadlinesAndMetrics:
+    def test_exhausted_message_names_capacity_and_timeout(self, server):
+        pool = ConnectionPool(server, max_size=1)
+        pool.acquire()
+        with pytest.raises(PoolExhaustedError, match=r"capacity \(1\)"):
+            pool.acquire()
+        with pytest.raises(PoolExhaustedError, match=r"after waiting 0\.010s"):
+            pool.acquire(block=True, timeout=0.01)
+
+    def test_exhaustion_counted_in_metrics(self, server):
+        metrics = MetricsRegistry()
+        pool = ConnectionPool(server, max_size=1, metrics=metrics)
+        pool.acquire()
+        for _ in range(2):
+            with pytest.raises(PoolExhaustedError):
+                pool.acquire()
+        assert metrics.counter("db.pool.exhausted").value == 2
+
+    def test_spurious_wakeups_cannot_extend_the_deadline(self, server):
+        """Repeated notifies without a release must not restart the wait."""
+        pool = ConnectionPool(server, max_size=1)
+        pool.acquire()
+        timeout = 0.2
+        outcome = {}
+
+        def blocked_acquire():
+            started = time.monotonic()
+            try:
+                pool.acquire(block=True, timeout=timeout)
+            except PoolExhaustedError:
+                outcome["elapsed"] = time.monotonic() - started
+
+        waiter = threading.Thread(target=blocked_acquire)
+        waiter.start()
+        # Hammer the condition with spurious wakeups while nothing is idle.
+        deadline = time.monotonic() + 1.0
+        while waiter.is_alive() and time.monotonic() < deadline:
+            with pool._lock:
+                pool._lock.notify_all()
+            time.sleep(0.01)
+        waiter.join(timeout=2.0)
+        assert not waiter.is_alive()
+        # The wait honoured roughly one timeout, not one per wakeup.
+        assert timeout <= outcome["elapsed"] < timeout + 0.5
+
+    def test_connect_retry_policy_counts_retries(self, server):
+        metrics = MetricsRegistry()
+        failures = [2]  # fail the first two creation attempts
+
+        def flaky_connect():
+            if failures[0] > 0:
+                failures[0] -= 1
+                raise TransientDBError("injected")
+            return server.connect()
+
+        pool = ConnectionPool(
+            server,
+            max_size=1,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0),
+            connect=flaky_connect,
+            metrics=metrics,
+        )
+        connection = pool.acquire()
+        assert connection.list_tables()
+        assert metrics.counter("db.pool.retries").value == 2
+
+    def test_failed_creation_rolls_back_capacity(self, server):
+        def always_fails():
+            raise TransientDBError("down")
+
+        pool = ConnectionPool(server, max_size=1, connect=always_fails)
+        with pytest.raises(TransientDBError):
+            pool.acquire()
+        # The failed slot was returned: capacity is available again.
+        pool._connect_factory = None
+        assert pool.acquire().list_tables()
