@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import BaselineDetector
-from repro.core import DetectorConfig, TasteDetector, ThresholdPolicy
+from repro.core import BatchingConfig, DetectorConfig, TasteDetector, ThresholdPolicy
 from repro.experiments.common import (
     get_baseline_model,
     get_corpus,
@@ -25,6 +25,7 @@ VARIANTS = (
     "taste_hist",
     "taste_no_pipeline",
     "taste_no_cache",
+    "taste_no_batch",
     "taste_sampling",
 )
 
@@ -43,6 +44,7 @@ def _build_detector(variant: str, corpus, scale):
             caching=variant != "taste_no_cache",
             pipelined=variant != "taste_no_pipeline",
             scan_method="sample" if variant == "taste_sampling" else "first",
+            batching=BatchingConfig(enabled=variant != "taste_no_batch"),
         ),
     )
     return detector, use_histogram

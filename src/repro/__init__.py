@@ -19,6 +19,8 @@ Subpackages
 ``repro.core``
     The TASTE framework: ADTD model, two-phase detection, latent cache,
     pipelined execution, training.
+``repro.sched``
+    Adaptive cross-table inference batching (the paper's S2 batching).
 ``repro.baselines``
     TURL-like, Doduo-like, regex and dictionary baselines.
 ``repro.metrics``
@@ -30,7 +32,7 @@ Subpackages
     One module per table/figure of the paper's evaluation.
 """
 
-from . import baselines, core, datagen, db, faults, features, metrics, nn, obs, text
+from . import baselines, core, datagen, db, faults, features, metrics, nn, obs, sched, text
 
 __version__ = "1.1.0"
 
@@ -42,6 +44,7 @@ __all__ = [
     "faults",
     "features",
     "core",
+    "sched",
     "baselines",
     "metrics",
     "obs",

@@ -1,6 +1,6 @@
 """Repo-specific lint rules (the ``RPR`` catalogue).
 
-Four families, matching the places where this codebase's bugs are silent
+Five families, matching the places where this codebase's bugs are silent
 until a long run hits them:
 
 * **RPR1xx — autograd safety.** The hand-rolled :class:`repro.nn.Tensor`
@@ -24,6 +24,12 @@ until a long run hits them:
   swallows the retryable/permanent distinction. Such call sites should go
   through :class:`repro.faults.RetryPolicy`, which retries only
   fault-class errors and surfaces give-ups.
+* **RPR5xx — inference throughput.** The model forward amortizes its
+  fixed cost (layer setup, padding, pooling-matrix construction) over
+  the batch dimension; ``collate([one_table])`` inside a loop runs a
+  batch-of-1 forward per iteration and forfeits that amortization.
+  Loops over tables should collect encodings and collate once, or route
+  through :class:`repro.sched.InferenceBatcher`.
 
 Every rule can be silenced on a line with ``# noqa: RPR###`` — visible,
 greppable exceptions instead of silent drift.
@@ -511,6 +517,54 @@ class BroadExceptAroundDBCall(Rule):
                     "hides the transient/permanent distinction; wrap the call "
                     "in RetryPolicy.run() and catch RetryGiveUpError instead",
                     operations=operations,
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR5xx — inference throughput
+# ----------------------------------------------------------------------
+@register
+class SingleItemCollateInLoop(Rule):
+    id = "RPR501"
+    name = "sched-single-item-collate-in-loop"
+    description = (
+        "collate([<one item>]) inside a loop runs a batch-of-1 forward per "
+        "iteration; collect encodings and collate once, or submit the chunks "
+        "to repro.sched.InferenceBatcher"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and node.args
+                and isinstance(node.args[0], ast.List)
+                and len(node.args[0].elts) == 1
+            ):
+                continue
+            if isinstance(node.func, ast.Name):
+                func_name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                func_name = node.func.attr
+            else:
+                continue
+            if func_name != "collate":
+                continue
+            in_loop = False
+            for ancestor in ancestors(node):
+                if isinstance(ancestor, (ast.For, ast.While, ast.AsyncFor)):
+                    in_loop = True
+                    break
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+            if in_loop:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{ast.unparse(node.func)}([...]) with a single element "
+                    "inside a loop runs one forward per item; batch the "
+                    "encodings into a single collate() call (or use "
+                    "repro.sched.InferenceBatcher) to amortize the forward",
                 )
 
 

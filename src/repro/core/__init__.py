@@ -2,7 +2,7 @@
 
 from .adtd import ADTDConfig, ADTDModel, gather_positions
 from .classifier import ClassifierHead
-from .config import DetectOptions, DetectorConfig, RuntimeConfig
+from .config import BatchingConfig, DetectOptions, DetectorConfig, RuntimeConfig
 from .detector import TasteDetector
 from .extension import (
     ExtensionResult,
@@ -25,6 +25,7 @@ __all__ = [
     "gather_positions",
     "ClassifierHead",
     "TasteDetector",
+    "BatchingConfig",
     "DetectorConfig",
     "RuntimeConfig",
     "DetectOptions",

@@ -186,7 +186,10 @@ class ADTDModel(nn.Module):
         """
         num_columns = batch.col_positions.shape[1]
         pooling = nn.Tensor(
-            column_pooling_matrix(column_ids, padding_mask, num_columns)
+            _POOLING_MEMO.get(
+                (column_ids, padding_mask, np.asarray(num_columns)),
+                _build_pooling,
+            )
         )
         return pooling @ hidden
 
@@ -214,6 +217,18 @@ class ADTDModel(nn.Module):
         mask = F.additive_attention_mask(padding_mask)
         encoded = self.encoder(hidden, attention_mask=mask)
         return self.mlm_head(encoded)
+
+
+# Both heads pool with the same (column_ids, padding_mask) pair, and Phase 2
+# rebuilds Phase 1's matrices for the same table — an exact content-keyed LRU
+# turns those rebuilds into lookups (see repro.nn.memo).
+_POOLING_MEMO = nn.ArrayKeyLRU("column_pooling", capacity=256)
+
+
+def _build_pooling(
+    column_ids: np.ndarray, padding_mask: np.ndarray, num_columns: np.ndarray
+) -> np.ndarray:
+    return column_pooling_matrix(column_ids, padding_mask, int(num_columns))
 
 
 def column_pooling_matrix(

@@ -31,9 +31,44 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.metrics import MetricsRegistry, NullMetricsRegistry
     from ..obs.trace import Tracer
 
-__all__ = ["DetectorConfig", "RuntimeConfig", "DetectOptions"]
+__all__ = ["BatchingConfig", "DetectorConfig", "RuntimeConfig", "DetectOptions"]
 
 _SCAN_METHODS = ("first", "sample")
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Policy knobs of the cross-table inference batcher (``repro.sched``).
+
+    ``max_batch_cols`` caps how many columns one collated forward may
+    carry; ``max_wait_ms`` bounds how long the oldest queued request may
+    age before a flush ("timeout"); ``adaptive=True`` additionally
+    flushes as soon as no further submitters can arrive (the prep pool
+    is idle and no infer stage is runnable — "idle" flush) instead of
+    letting the tail of a run wait out the timeout. ``pad_quantum``
+    quantizes padded sequence widths so requests from different tables
+    land in shared width buckets; both the sequential and the batched
+    path pad to the same quantum, which is what makes their float32
+    results bitwise identical (summation order never changes).
+    """
+
+    enabled: bool = True
+    max_batch_cols: int = 64
+    max_wait_ms: float = 2.0
+    pad_quantum: int = 16
+    adaptive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_cols < 1:
+            raise ValueError("max_batch_cols must be at least 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.pad_quantum < 1:
+            raise ValueError("pad_quantum must be at least 1")
+
+    def replace(self, **changes: Any) -> "BatchingConfig":
+        """A modified copy (re-validated)."""
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -53,6 +88,7 @@ class DetectorConfig:
     scan_method: str = "first"
     sample_seed: int = 0
     cache_capacity: int = 256
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
 
     def __post_init__(self) -> None:
         if self.scan_method not in _SCAN_METHODS:

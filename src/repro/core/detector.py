@@ -41,6 +41,8 @@ from ..faults.plan import FaultInjector
 from ..features.encoding import Featurizer
 from ..obs import Tracer, write_spans_jsonl
 from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
+from ..sched.batcher import InferenceBatcher
+from ..sched.forward import Phase1Request, Phase1Result, Phase2Request, Phase2Result, bucket_width, run_grouped
 from .config import DetectOptions, DetectorConfig, RuntimeConfig, detector_config_field_names
 from .latent_cache import LatentCache
 from .phases import TableJob
@@ -105,11 +107,24 @@ class TasteDetector:
             enabled=self.config.caching,
             metrics=self.metrics,
         )
+        # The cross-table batcher only helps when several tables are in
+        # flight at once, i.e. under the pipelined executor; sequential
+        # runs go through the same width-bucketed forwards locally.
+        self.batcher = (
+            InferenceBatcher(model, self.config.batching, metrics=self.metrics)
+            if (self.config.batching.enabled and self.config.pipelined)
+            else None
+        )
         self._executor = (
-            PipelinedExecutor(self.config.prep_workers, self.config.infer_workers)
+            PipelinedExecutor(
+                self.config.prep_workers,
+                self.config.infer_workers,
+                batcher=self.batcher,
+            )
             if self.config.pipelined
             else SequentialExecutor()
         )
+        self._width_cap = model.config.encoder.max_seq_len
         self.model.eval()
 
     # ------------------------------------------------------------------
@@ -126,6 +141,36 @@ class TasteDetector:
     @property
     def sample_seed(self) -> int:
         return self.config.sample_seed
+
+    # ------------------------------------------------------------------
+    # Inference dispatch (shared by the stage implementations)
+    # ------------------------------------------------------------------
+    def bucketed_width(self, length: int) -> int:
+        """Quantized padded width for a sequence of ``length`` tokens.
+
+        Every execution mode pads to the same quantized widths, which is
+        what keeps sequential, pipelined-unbatched and batched runs
+        bitwise identical (see :mod:`repro.sched.forward`).
+        """
+        return bucket_width(length, self.config.batching.pad_quantum, self._width_cap)
+
+    def run_inference(
+        self, requests: "list[Phase1Request | Phase2Request]"
+    ) -> "list[Phase1Result | Phase2Result]":
+        """Run a stage's chunk requests, returning results in order.
+
+        Pipelined runs route through the shared :class:`InferenceBatcher`
+        (coalescing with other tables' in-flight chunks); otherwise the
+        requests run locally — still width-grouped, or one forward per
+        request when ``batching.enabled`` is false (the unbatched
+        reference path).
+        """
+        if not requests:
+            return []
+        batcher = self.batcher
+        if batcher is not None and batcher.is_serving():
+            return batcher.run(requests)
+        return run_grouped(self.model, requests, coalesce=self.config.batching.enabled)
 
     # ------------------------------------------------------------------
     def detect(

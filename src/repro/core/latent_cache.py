@@ -46,6 +46,17 @@ class CachedEncoding:
                   self.numeric, self.meta_logits]
         return int(sum(a.nbytes for a in arrays))
 
+    def usable_at(self, meta_width: int) -> bool:
+        """Whether these latents can stand in for a fresh metadata forward.
+
+        Reuse is only bitwise-safe when the cached padded width equals the
+        width the current batch will collate to: a different width regroups
+        the float32 reductions inside attention and shifts results by ~1e-6.
+        The batched scheduler checks this per request before stacking
+        cached latents into a shared Phase-2 forward.
+        """
+        return bool(self.layer_outputs) and self.layer_outputs[0].shape[1] == meta_width
+
 
 @dataclass
 class LatentCache:

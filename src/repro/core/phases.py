@@ -21,13 +21,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .. import nn
 from ..db.connection import Connection
 from ..db.schema import TableMetadata
 from ..faults.errors import DeadlineExceededError, RetryGiveUpError
-from ..features.encoding import Batch, collate, split_metadata
+from ..features.encoding import EncodedTable, split_metadata
+from ..nn.functional import stable_sigmoid
 from ..obs import NULL_METRICS, NULL_TRACER
-from .latent_cache import CachedEncoding
+from ..sched.forward import Phase1Request, Phase2Request
 from .results import ColumnPrediction, TableResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -41,18 +41,25 @@ STAGE_KINDS = ("prep", "infer", "prep", "infer")
 # Stage index -> span/metric name.
 STAGE_NAMES = ("p1.prep", "p1.infer", "p2.prep", "p2.infer")
 
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-x))
+# The numerically-stable two-branch sigmoid: the naive 1/(1+exp(-x))
+# overflows exp() for large negative logits. Shared with repro.nn so the
+# baselines apply the identical formulation.
+_sigmoid = stable_sigmoid
 
 
 @dataclass
 class ChunkState:
-    """Per-chunk intermediate state between phases."""
+    """Per-chunk intermediate state between phases.
+
+    Featurization happens in the *prep* stages (it is pure CPU work that
+    belongs on TP1 and must be redone if a retried fetch returns different
+    data); the infer stages only see ready-to-collate encodings.
+    """
 
     metadata: TableMetadata
-    batch: Batch | None = None
-    cached: CachedEncoding | None = None
+    encoded_p1: EncodedTable | None = None
+    encoded_p2: EncodedTable | None = None
+    local_content: dict[int, list[str]] = field(default_factory=dict)
     meta_probs: np.ndarray | None = None
     uncertain_local: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
     column_offset: int = 0  # index of this chunk's first column in the table
@@ -200,10 +207,16 @@ class TableJob:
         # the chunks a half-failed earlier attempt may have appended.
         self.chunks = []
         self.metadata = self.connection.fetch_metadata(self.table_name)
-        threshold = self.detector.featurizer.config.column_split_threshold
+        featurizer = self.detector.featurizer
+        threshold = featurizer.config.column_split_threshold
         offset = 0
         for chunk_md in split_metadata(self.metadata, threshold):
-            self.chunks.append(ChunkState(chunk_md, column_offset=offset))
+            chunk = ChunkState(chunk_md, column_offset=offset)
+            # Featurize here, on TP1: encoding is CPU prep work, and doing
+            # it now keeps the infer stage's critical path to pure model
+            # compute (which the batcher can coalesce across tables).
+            chunk.encoded_p1 = featurizer.encode(chunk_md)
+            self.chunks.append(chunk)
             offset += len(chunk_md.columns)
 
     # ------------------------------------------------------------------
@@ -214,25 +227,22 @@ class TableJob:
         policy = detector.thresholds
         registry = detector.featurizer.registry
 
-        for chunk_index, chunk in enumerate(self.chunks):
-            encoded = detector.featurizer.encode(chunk.metadata)
-            chunk.batch = collate([encoded])
-            with nn.no_grad():
-                meta_layers = detector.model.encode_metadata(chunk.batch)
-                logits = detector.model.meta_logits(chunk.batch, meta_layers)
-            probs = _sigmoid(logits.detach().numpy()[0])  # (C, num_labels)
+        requests = [
+            Phase1Request(
+                encoded=chunk.encoded_p1,
+                meta_width=detector.bucketed_width(len(chunk.encoded_p1.meta.token_ids)),
+            )
+            for chunk in self.chunks
+        ]
+        results = detector.run_inference(requests)
+
+        for chunk_index, (chunk, outcome) in enumerate(zip(self.chunks, results)):
+            probs = outcome.probs  # (C, num_labels)
             chunk.meta_probs = probs
 
             cache_key = f"{self.table_name}#{chunk_index}"
-            encoding = CachedEncoding(
-                layer_outputs=[layer.data for layer in meta_layers],
-                meta_mask=chunk.batch.meta_mask,
-                col_positions=chunk.batch.col_positions,
-                numeric=chunk.batch.numeric,
-                meta_logits=logits.data,
-            )
             if policy.phase2_enabled:
-                detector.cache.put(cache_key, encoding)
+                detector.cache.put(cache_key, outcome.encoding)
 
             uncertain = policy.uncertain_columns(probs) if policy.phase2_enabled else np.zeros(0, dtype=np.int64)
             chunk.uncertain_local = uncertain
@@ -277,6 +287,20 @@ class TableJob:
         )
         for global_index, name in zip(uncertain_global, uncertain_names):
             self.content_by_column[global_index] = values[name]
+        # Featurize the content encodings now (TP1 work), so the infer
+        # stage is pure model compute. A retried attempt overwrites both
+        # the content map and the encodings — no duplicate state.
+        for chunk in self.chunks:
+            chunk.local_content = {
+                int(local): self.content_by_column[chunk.column_offset + int(local)]
+                for local in chunk.uncertain_local
+                if (chunk.column_offset + int(local)) in self.content_by_column
+            }
+            chunk.encoded_p2 = (
+                detector.featurizer.encode(chunk.metadata, chunk.local_content)
+                if chunk.local_content
+                else None
+            )
 
     # ------------------------------------------------------------------
     # Stage 4: P2 inference (compute)
@@ -291,31 +315,28 @@ class TableJob:
         # Index predictions by global column position for in-place update.
         predictions = self.result.predictions
 
+        requests: list[Phase2Request] = []
+        request_chunks: list[ChunkState] = []
         for chunk_index, chunk in enumerate(self.chunks):
-            if len(chunk.uncertain_local) == 0:
+            if chunk.encoded_p2 is None:
                 continue
-            local_content = {
-                int(local): self.content_by_column[chunk.column_offset + int(local)]
-                for local in chunk.uncertain_local
-                if (chunk.column_offset + int(local)) in self.content_by_column
-            }
-            if not local_content:
-                continue
-            encoded = detector.featurizer.encode(chunk.metadata, local_content)
-            batch = collate([encoded])
+            encoded = chunk.encoded_p2
+            requests.append(
+                Phase2Request(
+                    encoded=encoded,
+                    meta_width=detector.bucketed_width(len(encoded.meta.token_ids)),
+                    content_width=detector.bucketed_width(len(encoded.content.token_ids)),
+                    cached=detector.cache.get(f"{self.table_name}#{chunk_index}"),
+                )
+            )
+            request_chunks.append(chunk)
+        if not requests:
+            return
+        results = detector.run_inference(requests)
 
-            cached = detector.cache.get(f"{self.table_name}#{chunk_index}")
-            with nn.no_grad():
-                if cached is not None:
-                    meta_layers = [nn.Tensor(layer) for layer in cached.layer_outputs]
-                else:
-                    # Cache disabled or evicted: recompute the metadata tower.
-                    meta_layers = detector.model.encode_metadata(batch)
-                content_hidden = detector.model.encode_content(batch, meta_layers)
-                logits = detector.model.content_logits(batch, meta_layers, content_hidden)
-            probs = _sigmoid(logits.detach().numpy()[0])
-
-            for local in local_content:
+        for chunk, outcome in zip(request_chunks, results):
+            probs = outcome.probs
+            for local in chunk.local_content:
                 global_index = chunk.column_offset + local
                 prediction = predictions[global_index]
                 prediction.probabilities = probs[local].copy()

@@ -59,6 +59,13 @@ class PipelinedExecutor:
         Safety-net timeout for the dispatch loop's ``condition.wait``.
         Workers always notify on completion, so this should never fire; a
         firing increments ``pipeline.wait_timeouts``.
+    batcher:
+        Optional :class:`~repro.sched.InferenceBatcher`. When set, the
+        executor serves it for the duration of each run and feeds it
+        backlog hints (how many prep/infer stages are in flight or
+        dispatchable) so the batcher can flush adaptively: grow batches
+        while more submitters are coming, flush immediately once the
+        pipeline's tail leaves no prep work anywhere.
     """
 
     def __init__(
@@ -66,12 +73,14 @@ class PipelinedExecutor:
         prep_workers: int = 2,
         infer_workers: int = 2,
         wait_timeout: float = 5.0,
+        batcher=None,
     ) -> None:
         if prep_workers < 1 or infer_workers < 1:
             raise ValueError("both thread pools need at least one worker")
         self.prep_workers = prep_workers
         self.infer_workers = infer_workers
         self.wait_timeout = wait_timeout
+        self.batcher = batcher
 
     def run(
         self,
@@ -80,6 +89,22 @@ class PipelinedExecutor:
     ) -> None:
         if not jobs:
             return
+        if self.batcher is not None:
+            # Serve the batcher for exactly this run; the context exits
+            # (draining the queue and joining the compute thread) only
+            # after both worker pools have finished, so no submitter can
+            # ever block on a stopped batcher.
+            with self.batcher.serving():
+                self.batcher.note_state(len(jobs), 0)
+                self._run(jobs, metrics)
+        else:
+            self._run(jobs, metrics)
+
+    def _run(
+        self,
+        jobs: list[TableJob],
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    ) -> None:
         metrics = metrics if metrics is not None else global_registry()
         in_flight_gauges = {
             kind: metrics.gauge("pipeline.in_flight", pool=kind)
@@ -156,6 +181,29 @@ class PipelinedExecutor:
                             dispatched = True
                             break
                     dispatch_seconds.observe(time.perf_counter() - pass_started)
+                    if self.batcher is not None:
+                        # prep backlog: stages in flight or dispatchable (how
+                        # much future infer work exists). infer backlog: stages
+                        # that can still submit before the next flush — running
+                        # stages plus dispatchable ones with a free TP2 slot.
+                        # Dispatchable stages *without* a slot are excluded:
+                        # they only start after a flush frees a worker, so
+                        # counting them would make the batcher wait on itself.
+                        prep_backlog = 0
+                        dispatchable_infer = 0
+                        for job in pending:
+                            if id(job) in running:
+                                continue
+                            kind = job.next_stage_kind()
+                            if kind == "prep":
+                                prep_backlog += 1
+                            elif kind == "infer":
+                                dispatchable_infer += 1
+                        free_slots = limits["infer"] - in_flight["infer"]
+                        self.batcher.note_state(
+                            in_flight["prep"] + prep_backlog,
+                            in_flight["infer"] + min(free_slots, dispatchable_infer),
+                        )
                     if not dispatched:
                         # Event-driven wait: workers notify on completion, so
                         # a timeout here is a stall, not normal operation.

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..baselines import BaselineDetector
-from ..core import DetectorConfig, RuntimeConfig, TasteDetector, ThresholdPolicy
+from ..core import BatchingConfig, DetectorConfig, RuntimeConfig, TasteDetector, ThresholdPolicy
 from ..metrics import RunTiming, render_table
 from ..obs import Tracer
 from .common import (
@@ -34,6 +34,7 @@ VARIANTS = (
     "taste_hist",
     "taste_no_pipeline",
     "taste_no_cache",
+    "taste_no_batch",
     "taste_sampling",
 )
 
@@ -44,6 +45,7 @@ _LABELS = {
     "taste_hist": "TASTE w/ histogram",
     "taste_no_pipeline": "TASTE w/o pipelining",
     "taste_no_cache": "TASTE w/o caching",
+    "taste_no_batch": "TASTE w/o batching",
     "taste_sampling": "TASTE w/ sampling",
 }
 
@@ -119,6 +121,7 @@ def _run_variant(
                     caching=variant != "taste_no_cache",
                     pipelined=variant != "taste_no_pipeline",
                     scan_method="sample" if variant == "taste_sampling" else "first",
+                    batching=BatchingConfig(enabled=variant != "taste_no_batch"),
                 ),
                 # Trace only when asked: timing runs should measure the
                 # disabled-tracer fast path, like production defaults.

@@ -5,13 +5,28 @@ produces :class:`EncodedTable` objects; :func:`collate` pads a list of them
 into one :class:`Batch` with attention masks. It also provides the offline
 adapter used at training time (when tables are local and no database is
 involved) and the column-splitting threshold ``l`` (paper Sec. 6.1.2).
+
+Detection workloads re-encode the same column-name/cell strings over and
+over (chunked wide tables repeat the table text; Phase 2 re-encodes the
+metadata Phase 1 already saw), so the featurizer routes ``tokenizer.encode``
+through a bounded LRU (:class:`TokenEncodeCache`) whose hit/miss totals are
+exported as ``featurizer.encode_cache.{hits,misses}`` counters.
+
+:func:`collate` accepts explicit ``meta_width``/``content_width`` targets so
+callers can pad different batches to a *shared* quantized width — the
+cross-table batcher (:mod:`repro.sched`) relies on this to keep batched and
+unbatched float32 forwards bitwise identical.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..obs.metrics import global_registry
 
 from ..datagen.tables import Table
 from ..datagen.types import TypeRegistry
@@ -31,6 +46,7 @@ __all__ = [
     "EncodedTable",
     "Batch",
     "Featurizer",
+    "TokenEncodeCache",
     "collate",
     "offline_metadata",
     "split_metadata",
@@ -55,6 +71,7 @@ class FeatureConfig:
     column_split_threshold: int = 20
     use_histogram: bool = False
     max_column_id: int = 64  # size of the column-id embedding table
+    encode_cache_size: int = 4096  # LRU entries for repeated-string token ids (0 = off)
 
 
 @dataclass
@@ -110,8 +127,12 @@ class Batch:
         return self.meta_ids.shape[0]
 
 
-def _pad_stack(arrays: list[np.ndarray], fill: int) -> np.ndarray:
-    width = max((len(a) for a in arrays), default=0)
+def _pad_stack(arrays: list[np.ndarray], fill: int, width: int | None = None) -> np.ndarray:
+    longest = max((len(a) for a in arrays), default=0)
+    if width is None:
+        width = longest
+    elif width < longest:
+        raise ValueError(f"requested width {width} < longest row {longest}")
     width = max(width, 1)
     out = np.full((len(arrays), width), fill, dtype=np.int64)
     for row, array in enumerate(arrays):
@@ -119,13 +140,78 @@ def _pad_stack(arrays: list[np.ndarray], fill: int) -> np.ndarray:
     return out
 
 
+class TokenEncodeCache:
+    """Bounded, thread-safe LRU over :meth:`Tokenizer.encode`.
+
+    Detection re-tokenizes the same strings constantly — a chunked wide
+    table repeats its table text per chunk, Phase 2 re-encodes Phase 1's
+    metadata, and real schemas reuse column names (``id``, ``name``,
+    ``created_at``) across tables. Keyed on the full call signature
+    ``(text, max_len, keep_punct)``; stores immutable tuples and hands
+    out fresh lists so callers may mutate their copy. Exposes ``vocab``
+    and ``__len__`` so it can stand in for the wrapped tokenizer inside
+    the featurization helpers.
+    """
+
+    def __init__(self, tokenizer: Tokenizer, capacity: int) -> None:
+        self.inner = tokenizer
+        self.vocab = tokenizer.vocab
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._store: OrderedDict[tuple[str, int | None, bool], tuple[int, ...]] = OrderedDict()
+        registry = global_registry()
+        self._hit_counter = registry.counter("featurizer.encode_cache.hits")
+        self._miss_counter = registry.counter("featurizer.encode_cache.misses")
+
+    def encode(self, text: str, max_len: int | None = None, keep_punct: bool = False) -> list[int]:
+        key = (text, max_len, keep_punct)
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+                hit = True
+            else:
+                self.misses += 1
+                hit = False
+        if hit:
+            self._hit_counter.inc()
+            return list(cached)
+        self._miss_counter.inc()
+        ids = self.inner.encode(text, max_len=max_len, keep_punct=keep_punct)
+        with self._lock:
+            self._store[key] = tuple(ids)
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+        return ids
+
+    def tokenize(self, text: str, keep_punct: bool = False) -> list[str]:
+        return self.inner.tokenize(text, keep_punct=keep_punct)
+
+    def decode(self, ids) -> list[str]:
+        return self.inner.decode(ids)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+
 class Featurizer:
     """Turns table metadata (+ optional content) into model inputs."""
 
     def __init__(self, tokenizer: Tokenizer, registry: TypeRegistry, config: FeatureConfig) -> None:
+        if isinstance(tokenizer, TokenEncodeCache):  # don't stack caches when re-wrapped
+            tokenizer = tokenizer.inner
         self.tokenizer = tokenizer
         self.registry = registry
         self.config = config
+        self.encode_cache: TokenEncodeCache | None = (
+            TokenEncodeCache(tokenizer, config.encode_cache_size)
+            if config.encode_cache_size > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
     def encode(
@@ -141,16 +227,17 @@ class Featurizer:
         ``labels`` is one list of type names per column (training only).
         """
         config = self.config
+        tokenizer = self.encode_cache if self.encode_cache is not None else self.tokenizer
         meta = tokenize_metadata(
             metadata,
-            self.tokenizer,
+            tokenizer,
             table_token_budget=config.table_token_budget,
             column_token_budget=config.column_token_budget,
         )
         content = tokenize_content(
             content_by_column or {},
             num_table_columns=len(metadata.columns),
-            tokenizer=self.tokenizer,
+            tokenizer=tokenizer,
             cells_per_column=config.cells_per_column,
             cell_token_budget=config.cell_token_budget,
             max_tokens_per_column=config.max_tokens_per_column,
@@ -193,22 +280,34 @@ class Featurizer:
         return self.encode(metadata, content, labels)
 
 
-def collate(tables: list[EncodedTable], pad_id: int = 0) -> Batch:
-    """Pad encoded tables into one batch."""
+def collate(
+    tables: list[EncodedTable],
+    pad_id: int = 0,
+    meta_width: int | None = None,
+    content_width: int | None = None,
+) -> Batch:
+    """Pad encoded tables into one batch.
+
+    ``meta_width``/``content_width`` force the padded sequence widths
+    (must be >= the longest row). Fixing widths lets separate collate
+    calls produce slice-compatible batches — padding only *appends*
+    masked tokens, so a table's forward-pass results do not depend on
+    which batch it rode in.
+    """
     if not tables:
         raise ValueError("cannot collate an empty batch")
-    meta_ids = _pad_stack([t.meta.token_ids for t in tables], pad_id)
-    meta_segments = _pad_stack([t.meta.segment_ids for t in tables], 0)
-    meta_column_ids = _pad_stack([t.meta.column_ids for t in tables], 0)
+    meta_ids = _pad_stack([t.meta.token_ids for t in tables], pad_id, meta_width)
+    meta_segments = _pad_stack([t.meta.segment_ids for t in tables], 0, meta_width)
+    meta_column_ids = _pad_stack([t.meta.column_ids for t in tables], 0, meta_width)
     meta_mask = _pad_stack(
-        [np.ones(len(t.meta.token_ids), dtype=np.int64) for t in tables], 0
+        [np.ones(len(t.meta.token_ids), dtype=np.int64) for t in tables], 0, meta_width
     ).astype(bool)
 
-    content_ids = _pad_stack([t.content.token_ids for t in tables], pad_id)
-    content_segments = _pad_stack([t.content.segment_ids for t in tables], 0)
-    content_column_ids = _pad_stack([t.content.column_ids for t in tables], 0)
+    content_ids = _pad_stack([t.content.token_ids for t in tables], pad_id, content_width)
+    content_segments = _pad_stack([t.content.segment_ids for t in tables], 0, content_width)
+    content_column_ids = _pad_stack([t.content.column_ids for t in tables], 0, content_width)
     content_mask = _pad_stack(
-        [np.ones(len(t.content.token_ids), dtype=np.int64) for t in tables], 0
+        [np.ones(len(t.content.token_ids), dtype=np.int64) for t in tables], 0, content_width
     ).astype(bool)
 
     col_positions = _pad_stack([t.meta.col_positions for t in tables], -1)

@@ -8,16 +8,19 @@ and cross-attention, Adam, the paper's loss functions and checkpointing.
 from .attention import MultiHeadAttention
 from .layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Sequential
 from .losses import AutomaticWeightedLoss, bce_with_logits, masked_cross_entropy
+from .memo import ArrayKeyLRU
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adam, WarmupLinearSchedule, clip_grad_norm
 from .serialization import load_checkpoint, load_state, save_checkpoint
-from .tensor import Tensor, no_grad
+from .tensor import Tensor, is_grad_enabled, no_grad
 from .transformer import EncoderConfig, TransformerBlock, TransformerEncoder
 from . import functional
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "is_grad_enabled",
+    "ArrayKeyLRU",
     "Module",
     "ModuleList",
     "Parameter",

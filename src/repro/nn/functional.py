@@ -4,12 +4,23 @@ These composite operations (softmax, layer normalization, GELU, embedding
 lookup, dropout) get hand-written backward rules rather than being composed
 from :class:`~repro.nn.tensor.Tensor` primitives; this keeps the graphs built
 for Transformer encoders small and fast, which matters on CPU.
+
+Every differentiable op here also has a **no-grad fast path**: when
+``is_grad_enabled()`` is false, the op skips allocating its backward
+closure and reuses intermediate buffers in place (``np.exp(..., out=)``,
+``/=``, ``*=``). The in-place variants perform the *same* floating-point
+operations on the same operands as the autograd versions — only the buffer
+bookkeeping changes — so eval-mode outputs stay bitwise identical to what
+the graph-recording path would produce. Inference is where the framework
+spends its life (the two-phase pipeline runs entirely under ``no_grad``),
+so these paths are the hot ones.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .memo import ArrayKeyLRU
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -20,12 +31,17 @@ __all__ = [
     "embedding_lookup",
     "dropout",
     "additive_attention_mask",
+    "stable_sigmoid",
 ]
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax along ``axis``."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    if not is_grad_enabled():
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=axis, keepdims=True)
+        return Tensor(shifted)
     exp = np.exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
 
@@ -41,6 +57,9 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable log-softmax along ``axis``."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    if not is_grad_enabled():
+        shifted -= log_sum
+        return Tensor(shifted)
     out_data = shifted - log_sum
     soft = np.exp(out_data)
 
@@ -56,6 +75,11 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     centered = x.data - mean
     var = (centered**2).mean(axis=-1, keepdims=True)
     inv_std = 1.0 / np.sqrt(var + eps)
+    if not is_grad_enabled():
+        centered *= inv_std
+        centered *= weight.data
+        centered += bias.data
+        return Tensor(centered)
     normalized = centered * inv_std
     out_data = normalized * weight.data + bias.data
 
@@ -82,6 +106,17 @@ _GELU_COEFF = np.sqrt(2.0 / np.pi).astype(np.float32)
 def gelu(x: Tensor) -> Tensor:
     """Gaussian Error Linear Unit, tanh approximation (as in BERT)."""
     cubed = x.data**3
+    if not is_grad_enabled():
+        # Same operand pairs as below, reusing `cubed` as scratch; the
+        # commuted forms (a*b vs b*a, a+b vs b+a) are bitwise-exact in IEEE.
+        cubed *= 0.044715
+        cubed += x.data
+        cubed *= _GELU_COEFF
+        np.tanh(cubed, out=cubed)
+        cubed += 1.0
+        half_x = 0.5 * x.data
+        half_x *= cubed
+        return Tensor(half_x)
     inner = _GELU_COEFF * (x.data + 0.044715 * cubed)
     tanh_inner = np.tanh(inner)
     out_data = 0.5 * x.data * (1.0 + tanh_inner)
@@ -102,6 +137,8 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     """
     indices = np.asarray(indices)
     out_data = weight.data[indices]
+    if not is_grad_enabled():
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         full = np.zeros_like(weight.data)
@@ -125,6 +162,14 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Te
     return Tensor._make(out_data, (x,), backward)
 
 
+_ATTENTION_MASK_MEMO = ArrayKeyLRU("attention_mask", capacity=128)
+
+
+def _build_attention_mask(key_padding: np.ndarray) -> np.ndarray:
+    mask = np.where(key_padding, 0.0, -1e9).astype(np.float32)
+    return mask[:, None, None, :]
+
+
 def additive_attention_mask(key_padding: np.ndarray) -> np.ndarray:
     """Build an additive attention mask from a boolean padding matrix.
 
@@ -139,7 +184,30 @@ def additive_attention_mask(key_padding: np.ndarray) -> np.ndarray:
     numpy.ndarray
         Float array of shape ``(batch, 1, 1, seq)`` with ``0`` for real
         tokens and a large negative value for padding, ready to be added to
-        raw attention scores before softmax.
+        raw attention scores before softmax. The result is memoized per
+        padding pattern (and returned read-only): every encoder layer of a
+        forward pass — and Phase 2 revisiting a Phase-1 table — asks for
+        the same mask again.
     """
-    mask = np.where(key_padding, 0.0, -1e9).astype(np.float32)
-    return mask[:, None, None, :]
+    return _ATTENTION_MASK_MEMO.get(key_padding, _build_attention_mask)
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable elementwise sigmoid on a plain ndarray.
+
+    The naive ``1/(1+exp(-x))`` overflows ``exp`` for large negative
+    logits (``exp(709.)`` is already ``inf`` in float64, and float32
+    saturates near 88). The two-branch formulation evaluates ``exp`` only
+    on non-positive arguments, so it never overflows:
+
+    * ``x >= 0``: ``1 / (1 + exp(-x))``
+    * ``x <  0``: ``exp(x) / (1 + exp(x))``
+    """
+    x = np.asarray(x)
+    out = np.empty_like(x, dtype=x.dtype if x.dtype.kind == "f" else np.float64)
+    positive = x >= 0
+    negative = ~positive
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[negative])
+    out[negative] = exp_x / (1.0 + exp_x)
+    return out

@@ -171,9 +171,15 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create a graph node if any parent requires grad, else a leaf."""
-        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
-        if not requires:
+        """Create a graph node if any parent requires grad, else a leaf.
+
+        The grad-mode check comes first so the no-grad inference hot path
+        (every op of every batched forward lands here) pays one
+        thread-local read and no parent scan.
+        """
+        if not _GRAD_MODE.enabled:
+            return Tensor(data)
+        if not any(p.requires_grad for p in parents):
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
 

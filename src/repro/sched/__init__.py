@@ -1,0 +1,36 @@
+"""Adaptive cross-table inference batching (the paper's S2 GPU batching).
+
+The pipelined executor's infer stages hand their per-chunk requests to a
+shared :class:`InferenceBatcher`, which coalesces chunks from different
+tables into one collated ADTD forward on a dedicated compute thread and
+slices results back per chunk. Width bucketing (:func:`bucket_width`)
+keeps batched and unbatched runs bitwise identical; see
+:mod:`repro.sched.forward` for why.
+"""
+
+from .batcher import BatchFuture, InferenceBatcher
+from .forward import (
+    Phase1Request,
+    Phase1Result,
+    Phase2Request,
+    Phase2Result,
+    bucket_width,
+    group_requests,
+    run_grouped,
+    run_phase1,
+    run_phase2,
+)
+
+__all__ = [
+    "InferenceBatcher",
+    "BatchFuture",
+    "Phase1Request",
+    "Phase1Result",
+    "Phase2Request",
+    "Phase2Result",
+    "bucket_width",
+    "group_requests",
+    "run_grouped",
+    "run_phase1",
+    "run_phase2",
+]

@@ -273,6 +273,7 @@ def test_registry_has_all_documented_rules():
     assert {
         "RPR101", "RPR102", "RPR103", "RPR104",
         "RPR201", "RPR202", "RPR301", "RPR302",
+        "RPR501",
     } <= ids
 
 
@@ -387,5 +388,72 @@ def test_rpr401_quiet_without_db_call(tmp_path):
         "        return int(blob)\n"
         "    except Exception:\n"
         "        return 0\n",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR5xx — inference throughput
+# ----------------------------------------------------------------------
+def test_rpr501_single_item_collate_in_loop(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def scan(model, chunks):\n"
+        "    for chunk in chunks:\n"
+        "        batch = collate([chunk])\n"
+        "        model(batch)\n",
+    )
+    assert _rules_hit(findings) == {"RPR501"}
+
+
+def test_rpr501_attribute_collate_in_while_loop(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def scan(features, queue, model):\n"
+        "    while queue:\n"
+        "        batch = features.collate([queue.pop()])\n"
+        "        model(batch)\n",
+    )
+    assert _rules_hit(findings) == {"RPR501"}
+
+
+def test_rpr501_quiet_on_multi_item_collate(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def scan(model, groups):\n"
+        "    for group in groups:\n"
+        "        batch = collate([encoded for encoded in group])\n"
+        "        model(batch)\n",
+    )
+    assert findings == []
+
+
+def test_rpr501_quiet_outside_loop(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def scan_one(model, chunk):\n"
+        "    batch = collate([chunk])\n"
+        "    return model(batch)\n",
+    )
+    assert findings == []
+
+
+def test_rpr501_quiet_on_other_single_item_calls(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def scan(model, chunks):\n"
+        "    for chunk in chunks:\n"
+        "        model(stack([chunk]))\n",
+    )
+    assert findings == []
+
+
+def test_rpr501_noqa(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def scan(model, chunks):\n"
+        "    for chunk in chunks:\n"
+        "        batch = collate([chunk])  # noqa: RPR501\n"
+        "        model(batch)\n",
     )
     assert findings == []

@@ -77,8 +77,16 @@ def test_random_expression_gradients_match_numeric(expr):
     xm[index] -= eps
     lp, _ = evaluate(ops, xp, np.random.default_rng(seed + 1))
     lm, _ = evaluate(ops, xm, np.random.default_rng(seed + 1))
-    numeric = (float(lp.data) - float(lm.data)) / (2 * eps)
+    lp_val, lm_val = float(lp.data), float(lm.data)
+    numeric = (lp_val - lm_val) / (2 * eps)
     # Stacked exps can overflow float32 to inf/nan; neither gradient is
     # meaningful there, so discard the example rather than compare noise.
     assume(np.isfinite(numeric) and np.isfinite(analytic[index]))
+    # Even finite losses can be so large (e.g. exp(exp(exp(x))) ~ 4e6) that
+    # float32 quantization at their magnitude dwarfs the eps-sized step; the
+    # central difference is then rounding noise, not a gradient. Keep the
+    # example only when the measured difference clears the float32 spacing
+    # at the loss's scale by a wide margin.
+    scale = max(abs(lp_val), abs(lm_val))
+    assume(abs(lp_val - lm_val) > 64 * float(np.spacing(np.float32(scale))))
     assert analytic[index] == pytest.approx(numeric, rel=5e-2, abs=5e-3)
