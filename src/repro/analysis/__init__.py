@@ -1,6 +1,6 @@
 """``repro.analysis`` — a zero-new-dependency static-analysis toolkit.
 
-Three engines behind one CLI (``python -m repro.analysis``):
+Four engines behind one CLI (``python -m repro.analysis``):
 
 * :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — an AST lint
   engine with repo-specific rules (autograd safety, lock discipline,
@@ -9,16 +9,40 @@ Three engines behind one CLI (``python -m repro.analysis``):
   inconsistent H/A/I/L model configurations before any forward pass;
 * :mod:`repro.analysis.races` — an Eraser-style lockset monitor that
   instruments classes under test and flags shared writes with no common
-  lock.
+  lock, exporting observed lock-order edges;
+* :mod:`repro.analysis.flow` (+ :mod:`repro.analysis.cfg`,
+  :mod:`repro.analysis.contracts`) — per-function CFGs and
+  interprocedural call-graph summaries powering the lock-order cycle
+  check (RPR601), resource-balance checks (RPR602/603) and the metric
+  naming/registry contract (RPR604).
 
 All engines report through :class:`repro.analysis.findings.Finding`, with
-text and JSONL emitters mirroring :mod:`repro.obs.export`, and the tier-1
-test suite gates the tree on ``lint`` and ``shapes`` staying clean.
+text, JSONL and SARIF emitters, fingerprint-based baseline suppression
+(:mod:`repro.analysis.baseline`), and the tier-1 test suite gates the
+tree on ``lint``, ``shapes`` and ``flow`` staying clean.
 """
 
-from .findings import Finding, read_findings_jsonl, render_findings, write_findings_jsonl
+from .baseline import apply_baseline, fingerprint, load_baseline, write_baseline
+from .cfg import CFG, Block, build_cfg, iter_functions
+from .contracts import (
+    MetricUse,
+    RegistryEntry,
+    check_contracts,
+    collect_metric_uses,
+    parse_registry,
+    registry_markdown,
+)
+from .findings import (
+    Finding,
+    findings_to_sarif,
+    read_findings_jsonl,
+    render_findings,
+    write_findings_jsonl,
+    write_findings_sarif,
+)
+from .flow import FlowReport, LockOrderEdge, ProgramIndex, analyze_flow, build_index
 from .lint import Rule, lint_paths, register, registered_rules
-from .races import LocksetMonitor, RaceReport
+from .races import LocksetMonitor, RaceReport, write_order_edges_jsonl
 from .shapes import (
     ShapeError,
     check_adtd_config,
@@ -34,12 +58,34 @@ __all__ = [
     "render_findings",
     "write_findings_jsonl",
     "read_findings_jsonl",
+    "findings_to_sarif",
+    "write_findings_sarif",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
     "Rule",
     "register",
     "registered_rules",
     "lint_paths",
     "LocksetMonitor",
     "RaceReport",
+    "write_order_edges_jsonl",
+    "CFG",
+    "Block",
+    "build_cfg",
+    "iter_functions",
+    "FlowReport",
+    "LockOrderEdge",
+    "ProgramIndex",
+    "analyze_flow",
+    "build_index",
+    "MetricUse",
+    "RegistryEntry",
+    "collect_metric_uses",
+    "parse_registry",
+    "check_contracts",
+    "registry_markdown",
     "ShapeError",
     "check_encoder_config",
     "check_adtd_config",

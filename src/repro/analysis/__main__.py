@@ -5,13 +5,17 @@
     python -m repro.analysis lint src/            # AST lint (RPR rules)
     python -m repro.analysis shapes src/          # symbolic shape checks
     python -m repro.analysis races                # race-detector self-check
+    python -m repro.analysis flow src/            # CFG/call-graph analyses
     python -m repro.analysis lint src/ --format jsonl --out findings.jsonl
+    python -m repro.analysis flow src/ --format sarif --baseline accepted.jsonl
 
-Exit status is 0 when no ``error``-severity findings were produced, 1
-otherwise — suitable as a CI gate. ``--out`` always writes the JSONL
-artifact (same one-object-per-line convention as ``repro.obs.export``)
-regardless of the stdout format, so CI can render text and archive JSONL
-from a single run.
+Every subcommand shares the reporting surface: ``--format
+text|jsonl|sarif`` for stdout, ``--out`` to also archive the findings
+(JSONL unless the path ends in ``.sarif``), ``--baseline`` to suppress
+accepted findings by fingerprint, and ``--write-baseline`` to record the
+current findings as accepted. Exit status is 0 when no *non-baselined*
+``error``-severity findings were produced, 1 otherwise — suitable as a
+CI gate.
 """
 
 from __future__ import annotations
@@ -21,7 +25,14 @@ import json
 import sys
 from typing import Sequence
 
-from .findings import Finding, render_findings, write_findings_jsonl
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .findings import (
+    Finding,
+    findings_to_sarif,
+    render_findings,
+    write_findings_jsonl,
+    write_findings_sarif,
+)
 from .lint import lint_paths, registered_rules
 
 __all__ = ["main"]
@@ -31,10 +42,15 @@ def _emit(findings: list[Finding], fmt: str, out: str | None) -> None:
     if fmt == "jsonl":
         for finding in findings:
             print(json.dumps(finding.to_dict(), default=str))
+    elif fmt == "sarif":
+        print(json.dumps(findings_to_sarif(findings), indent=2, default=str))
     else:
         print(render_findings(findings))
     if out is not None:
-        path = write_findings_jsonl(findings, out)
+        if str(out).endswith(".sarif"):
+            path = write_findings_sarif(findings, out)
+        else:
+            path = write_findings_jsonl(findings, out)
         print(f"wrote {len(findings)} findings to {path}", file=sys.stderr)
 
 
@@ -42,17 +58,55 @@ def _exit_code(findings: list[Finding]) -> int:
     return 1 if any(f.severity == "error" for f in findings) else 0
 
 
+def _add_common(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--format", choices=("text", "jsonl", "sarif"), default="text"
+    )
+    subparser.add_argument(
+        "--out",
+        default=None,
+        help="also write findings here (SARIF if the path ends in .sarif, JSONL otherwise)",
+    )
+    subparser.add_argument(
+        "--baseline",
+        default=None,
+        help="suppress findings whose fingerprints appear in this baseline file",
+    )
+    subparser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="record the current findings as the accepted baseline and exit 0",
+    )
+
+
+def _report(findings: list[Finding], args: argparse.Namespace) -> int:
+    """Baseline handling + emission + exit code, shared by every command."""
+    if args.write_baseline is not None:
+        path = write_baseline(findings, args.write_baseline)
+        print(f"baselined {len(findings)} findings to {path}", file=sys.stderr)
+        return 0
+    if args.baseline is not None:
+        findings, suppressed = apply_baseline(findings, load_baseline(args.baseline))
+        if suppressed:
+            print(f"suppressed {suppressed} baselined findings", file=sys.stderr)
+    _emit(findings, args.format, args.out)
+    return _exit_code(findings)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Repo-aware static analysis: lint, shape checks, race detection.",
+        description=(
+            "Repo-aware static analysis: lint, shape checks, race detection, "
+            "flow (lock-order / resource-leak / metric-contract) analysis."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     lint_parser = subparsers.add_parser("lint", help="run the AST lint rules")
     lint_parser.add_argument("paths", nargs="*", default=["src"])
-    lint_parser.add_argument("--format", choices=("text", "jsonl"), default="text")
-    lint_parser.add_argument("--out", default=None, help="also write findings JSONL here")
+    _add_common(lint_parser)
     lint_parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
@@ -61,8 +115,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "shapes", help="symbolically check model configurations"
     )
     shapes_parser.add_argument("paths", nargs="*", default=["src"])
-    shapes_parser.add_argument("--format", choices=("text", "jsonl"), default="text")
-    shapes_parser.add_argument("--out", default=None)
+    _add_common(shapes_parser)
 
     races_parser = subparsers.add_parser(
         "races", help="self-check the lockset race detector"
@@ -70,8 +123,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     races_parser.add_argument(
         "paths", nargs="*", default=[], help="ignored; races is a runtime tool"
     )
-    races_parser.add_argument("--format", choices=("text", "jsonl"), default="text")
-    races_parser.add_argument("--out", default=None)
+    _add_common(races_parser)
+
+    flow_parser = subparsers.add_parser(
+        "flow",
+        help="CFG/call-graph analyses: lock order, resource balance, metric contracts",
+    )
+    flow_parser.add_argument("paths", nargs="*", default=["src"])
+    _add_common(flow_parser)
+    flow_parser.add_argument(
+        "--registry",
+        default="docs/metrics.md",
+        help="committed metric inventory to diff against (RPR604)",
+    )
+    flow_parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the registry diff (naming/consistency checks still run)",
+    )
+    flow_parser.add_argument(
+        "--update-registry",
+        action="store_true",
+        help="regenerate the registry from the emitted-name scan and exit",
+    )
+    flow_parser.add_argument(
+        "--emit-edges",
+        default=None,
+        metavar="PATH",
+        help="also write the static lock-order edges as JSONL (RPR601 schema)",
+    )
 
     args = parser.parse_args(argv)
 
@@ -82,17 +162,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             for rule in registered_rules():
                 print(f"{rule.id}  {rule.name:<28} {rule.description}")
             return 0
-        findings = lint_paths(args.paths)
-        _emit(findings, args.format, args.out)
-        return _exit_code(findings)
+        return _report(lint_paths(args.paths), args)
 
     if args.command == "shapes":
         from .shapes import check_tree
 
         findings, checked = check_tree(args.paths)
-        _emit(findings, args.format, args.out)
+        code = _report(findings, args)
         print(f"checked {checked} configurations", file=sys.stderr)
-        return _exit_code(findings)
+        return code
 
     if args.command == "races":
         from .races import self_check
@@ -104,14 +182,54 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
         findings = list(self_check())
-        _emit(findings, args.format, args.out)
+        code = _report(findings, args)
         if not findings:
             print(
                 "race-detector self-check passed: injected race flagged, "
                 "guarded class clean",
                 file=sys.stderr,
             )
-        return _exit_code(findings)
+        return code
+
+    if args.command == "flow":
+        from pathlib import Path
+
+        from .contracts import parse_registry, registry_markdown
+        from .flow import analyze_flow
+
+        registry_path = None if args.no_registry else args.registry
+        if args.update_registry:
+            report = analyze_flow(args.paths, registry_path=None)
+            target = Path(args.registry)
+            existing = parse_registry(target) if target.exists() else {}
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                registry_markdown(report.metric_uses, existing), encoding="utf-8"
+            )
+            print(
+                f"wrote {target} ({len({u.name for u in report.metric_uses})} names)",
+                file=sys.stderr,
+            )
+            return 0
+        report = analyze_flow(args.paths, registry_path=registry_path)
+        if args.emit_edges is not None:
+            edges_path = Path(args.emit_edges)
+            edges_path.parent.mkdir(parents=True, exist_ok=True)
+            with edges_path.open("w", encoding="utf-8") as handle:
+                for edge in report.edge_dicts():
+                    handle.write(json.dumps(edge, default=str) + "\n")
+            print(
+                f"wrote {len(report.lock_edges)} lock-order edges to {edges_path}",
+                file=sys.stderr,
+            )
+        code = _report(report.findings, args)
+        print(
+            f"analyzed {report.functions_analyzed} functions, "
+            f"{len(report.lock_edges)} lock-order edges, "
+            f"{len(report.metric_uses)} metric/span sites",
+            file=sys.stderr,
+        )
+        return code
 
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises

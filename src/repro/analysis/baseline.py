@@ -1,0 +1,104 @@
+"""Baseline suppression: accepted findings, pinned by fingerprint.
+
+A baseline file lets a finding ship without failing CI — the escape
+hatch for accepted debt. Each entry is a *fingerprint*: a short hash of
+the finding's stable identity (tool, rule, path, and a content anchor
+when the analysis provides one, falling back to the message). Line and
+column numbers are deliberately excluded so unrelated edits above a
+finding don't invalidate the baseline; a finding only escapes its
+baseline entry when it actually changes or moves files.
+
+File format is JSONL (one entry per line), same as every other artifact
+in the tree, with a ``comment`` field for humans::
+
+    {"fingerprint": "a1b2c3...", "rule": "RPR601", "comment": "known; see #42"}
+
+Workflow: ``repro-analyze <cmd> --write-baseline findings.baseline``
+records the current findings; ``--baseline findings.baseline`` on later
+runs suppresses exactly those, and the exit code reflects only what is
+*not* baselined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity hash for one finding (line numbers excluded)."""
+    anchor = finding.context.get("anchor") if finding.context else None
+    identity = "|".join(
+        [finding.tool, finding.rule, finding.path, str(anchor or finding.message)]
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:20]
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints recorded in a baseline file (missing file = empty)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return set()
+    fingerprints: set[str] = set()
+    for line in baseline_path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        record = json.loads(line)
+        fingerprints.add(str(record["fingerprint"]))
+    return fingerprints
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> Path:
+    """Record every finding's fingerprint, one JSONL entry per line.
+
+    Entries keep the rule, location and message alongside the hash so a
+    reviewer can audit what was accepted without re-running the tools.
+    """
+    baseline_path = Path(path)
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    seen: set[str] = set()
+    lines: list[str] = []
+    for finding in findings:
+        print_ = fingerprint(finding)
+        if print_ in seen:
+            continue
+        seen.add(print_)
+        lines.append(
+            json.dumps(
+                {
+                    "fingerprint": print_,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                },
+                default=str,
+            )
+        )
+    baseline_path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return baseline_path
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: set[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (kept, suppressed-count) against a baseline."""
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if fingerprint(finding) in baseline:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,398 @@
+"""Per-function control-flow graphs over Python AST.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` into basic blocks with
+explicit edges for the control constructs the flow analyses care about:
+``if``/``for``/``while`` (with ``else``, ``break`` and ``continue``),
+``return``/``raise``, ``with`` bodies, and ``try``/``except``/``finally``
+— including routing abrupt exits (``return``/``break``/``continue``/
+``raise``) through every enclosing ``finally`` block on their way out,
+which is what makes "``release()`` lives in the ``finally``" provably
+leak-free on every path.
+
+Approximations, chosen deliberately and documented here once:
+
+* The ``finally`` body is built **once** and shared by all paths through
+  it (normal completion, each handler, each abrupt exit). Paths are
+  joined at its entry, so the graph is path-insensitive across a
+  ``finally`` — conservative for the leak checks that consume it.
+* Implicit exceptions are modelled only *inside* ``try`` bodies: every
+  block of a ``try`` body gets an edge to each of its handlers and to
+  its ``finally``. Arbitrary statements outside any ``try`` are not
+  assumed to raise — the resource analyses target normal-flow leaks
+  (early returns, skipped branches), not "anything can throw anywhere".
+* Nested ``def``/``class``/``lambda`` bodies are opaque single
+  statements; each nested function gets its own CFG via
+  :func:`iter_functions`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Block", "CFG", "build_cfg", "iter_functions"]
+
+FunctionNode = "ast.FunctionDef | ast.AsyncFunctionDef"
+
+_SIMPLE_STMTS = (
+    ast.Expr,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Delete,
+    ast.Pass,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+    ast.Assert,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+@dataclass
+class Block:
+    """One basic block: a run of statements with a single entry point."""
+
+    id: int
+    label: str
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block({self.id}, {self.label!r}, succ={self.successors})"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func) -> None:
+        self.func = func
+        self.blocks: dict[int, Block] = {}
+        self.entry = 0
+        self.exit = 0
+        # id(stmt) -> containing block id, for locating analysis events.
+        self._stmt_block: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def block_of(self, stmt: ast.stmt) -> int | None:
+        """Block id holding ``stmt``, or ``None`` for unreached code."""
+        return self._stmt_block.get(id(stmt))
+
+    def successors(self, block_id: int) -> list[int]:
+        return self.blocks[block_id].successors
+
+    def reachable_from(self, start: int) -> set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reaches_exit_avoiding(self, start: int, avoid: set[int]) -> bool:
+        """Whether some path from ``start`` hits the exit without touching
+        any block in ``avoid`` (``start`` itself is not tested)."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            block = stack.pop()
+            if block == self.exit:
+                return True
+            for succ in self.blocks[block].successors:
+                if succ in avoid or succ in seen:
+                    continue
+                seen.add(succ)
+                stack.append(succ)
+        return False
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class _LoopFrame:
+    break_target: int
+    continue_target: int
+
+
+@dataclass
+class _FinallyFrame:
+    entry: int
+    # None when the finally body itself terminates on every path.
+    end: int | None
+
+
+@dataclass
+class _TryFrame:
+    handler_entries: list[int]
+    finally_entry: int | None
+
+
+class _Builder:
+    def __init__(self, func) -> None:
+        self.cfg = CFG(func)
+        self._next = 0
+        self.frames: list[object] = []  # _LoopFrame | _FinallyFrame | _TryFrame
+        self._edges: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    def new_block(self, label: str) -> int:
+        block = Block(self._next, label)
+        self.cfg.blocks[block.id] = block
+        self._next += 1
+        return block.id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if (src, dst) not in self._edges:
+            self._edges.add((src, dst))
+            self.cfg.blocks[src].successors.append(dst)
+
+    def append(self, block: int, stmt: ast.stmt) -> None:
+        self.cfg.blocks[block].statements.append(stmt)
+        self.cfg._stmt_block[id(stmt)] = block
+
+    # ------------------------------------------------------------------
+    def build(self):
+        self.cfg.entry = self.new_block("entry")
+        self.cfg.exit = self.new_block("exit")
+        end = self.build_body(self.cfg.func.body, self.cfg.entry)
+        if end is not None:  # fall off the end: implicit return None
+            self.add_edge(end, self.cfg.exit)
+        return self.cfg
+
+    def build_body(self, stmts: list[ast.stmt], current: int) -> int | None:
+        """Build ``stmts`` starting in ``current``; return the open block
+        at the end, or ``None`` when every path terminated abruptly."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after an abrupt exit; give it a block so
+                # block_of() still resolves, but leave it disconnected.
+                current = self.new_block("unreachable")
+            current = self._build_stmt(stmt, current)
+        return current
+
+    # ------------------------------------------------------------------
+    def _build_stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        if isinstance(stmt, _SIMPLE_STMTS):
+            self.append(current, stmt)
+            return current
+        if isinstance(stmt, ast.Return):
+            self.append(current, stmt)
+            self._route_abrupt(current, self.cfg.exit, through_loops=True)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.append(current, stmt)
+            self._route_raise(current)
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            self.append(current, stmt)
+            target = self._loop_target(is_break=isinstance(stmt, ast.Break))
+            if target is not None:
+                self._route_abrupt(current, target, through_loops=False)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current)
+        # Match and anything newer: opaque statement, no internal flow.
+        self.append(current, stmt)
+        return current
+
+    # ------------------------------------------------------------------
+    def _build_if(self, stmt: ast.If, current: int) -> int | None:
+        self.append(current, stmt)
+        after: int | None = None
+        body_entry = self.new_block("if-body")
+        self.add_edge(current, body_entry)
+        body_end = self.build_body(stmt.body, body_entry)
+        if stmt.orelse:
+            else_entry = self.new_block("if-else")
+            self.add_edge(current, else_entry)
+            else_end = self.build_body(stmt.orelse, else_entry)
+        else:
+            else_end = current  # false branch skips straight past
+        if body_end is None and else_end is None:
+            return None
+        after = self.new_block("if-after")
+        if body_end is not None:
+            self.add_edge(body_end, after)
+        if else_end is not None:
+            self.add_edge(else_end, after)
+        return after
+
+    def _build_loop(self, stmt, current: int) -> int:
+        head = self.new_block("loop-head")
+        self.append(head, stmt)
+        self.add_edge(current, head)
+        after = self.new_block("loop-after")
+        self.frames.append(_LoopFrame(break_target=after, continue_target=head))
+        body_entry = self.new_block("loop-body")
+        self.add_edge(head, body_entry)
+        body_end = self.build_body(stmt.body, body_entry)
+        if body_end is not None:
+            self.add_edge(body_end, head)
+        self.frames.pop()
+        if stmt.orelse:
+            else_entry = self.new_block("loop-else")
+            self.add_edge(head, else_entry)
+            else_end = self.build_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                self.add_edge(else_end, after)
+        else:
+            self.add_edge(head, after)
+        return after
+
+    def _build_with(self, stmt, current: int) -> int | None:
+        # The With statement (holding its items' acquisitions) stays in
+        # the current block; the managed body starts a new one.
+        self.append(current, stmt)
+        body_entry = self.new_block("with-body")
+        self.add_edge(current, body_entry)
+        return self.build_body(stmt.body, body_entry)
+
+    def _build_try(self, stmt: ast.Try, current: int) -> int | None:
+        self.append(current, stmt)
+        finally_frame: _FinallyFrame | None = None
+        if stmt.finalbody:
+            f_entry = self.new_block("finally")
+            f_end = self.build_body(stmt.finalbody, f_entry)
+            finally_frame = _FinallyFrame(entry=f_entry, end=f_end)
+
+        handler_entries = [self.new_block("except") for _ in stmt.handlers]
+        body_entry = self.new_block("try-body")
+        self.add_edge(current, body_entry)
+
+        if finally_frame is not None:
+            self.frames.append(finally_frame)
+        self.frames.append(
+            _TryFrame(
+                handler_entries=handler_entries,
+                finally_entry=finally_frame.entry if finally_frame else None,
+            )
+        )
+        before = self._next
+        body_end = self.build_body(stmt.body, body_entry)
+        body_blocks = [body_entry, *range(before, self._next)]
+        self.frames.pop()  # the handlers run outside the try frame
+
+        # Implicit exceptions: any block of the try body may jump to any
+        # handler, and (with a finally) into the finally.
+        for block in body_blocks:
+            if block not in self.cfg.blocks:  # pragma: no cover - defensive
+                continue
+            for handler_entry in handler_entries:
+                self.add_edge(block, handler_entry)
+            if finally_frame is not None:
+                self.add_edge(block, finally_frame.entry)
+
+        if stmt.orelse and body_end is not None:
+            else_entry = self.new_block("try-else")
+            self.add_edge(body_end, else_entry)
+            body_end = self.build_body(stmt.orelse, else_entry)
+
+        handler_ends: list[int] = []
+        for handler, handler_entry in zip(stmt.handlers, handler_entries):
+            handler_end = self.build_body(handler.body, handler_entry)
+            if handler_end is not None:
+                handler_ends.append(handler_end)
+        if finally_frame is not None:
+            self.frames.pop()
+
+        normal_ends = handler_ends + ([body_end] if body_end is not None else [])
+        if finally_frame is not None:
+            for end in normal_ends:
+                self.add_edge(end, finally_frame.entry)
+            if finally_frame.end is None:
+                return None  # the finally never completes normally
+            if not normal_ends:
+                # Nothing reaches the finally by completing normally (the
+                # body/handlers all return/raise/break), so nothing can
+                # continue past the try either; abrupt exits already
+                # routed themselves through the finally to their targets.
+                return None
+            after = self.new_block("try-after")
+            self.add_edge(finally_frame.end, after)
+            return after
+        if not normal_ends:
+            return None
+        after = self.new_block("try-after")
+        for end in normal_ends:
+            self.add_edge(end, after)
+        return after
+
+    # ------------------------------------------------------------------
+    # Abrupt-exit routing through enclosing finally blocks
+    # ------------------------------------------------------------------
+    def _loop_target(self, is_break: bool) -> int | None:
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame):
+                return frame.break_target if is_break else frame.continue_target
+        return None  # break/continue outside a loop: ignore (SyntaxError anyway)
+
+    def _route_abrupt(self, src: int, target: int, through_loops: bool) -> None:
+        """Edge ``src`` -> ``target`` detouring through every enclosing
+        ``finally`` (stopping at the loop frame for break/continue)."""
+        current = src
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame) and not through_loops:
+                if frame.break_target == target or frame.continue_target == target:
+                    break
+            if isinstance(frame, _FinallyFrame):
+                self.add_edge(current, frame.entry)
+                if frame.end is None:
+                    return  # swallowed: this finally never completes
+                current = frame.end
+        self.add_edge(current, target)
+
+    def _route_raise(self, src: int) -> None:
+        """A ``raise`` may land in the nearest handlers, and otherwise
+        propagates outward through every ``finally`` to the exit."""
+        current = src
+        for frame in reversed(self.frames):
+            if isinstance(frame, _TryFrame):
+                for handler_entry in frame.handler_entries:
+                    self.add_edge(current, handler_entry)
+                if frame.finally_entry is not None:
+                    self.add_edge(current, frame.finally_entry)
+                return  # the nearest try decides what happens next
+            if isinstance(frame, _FinallyFrame):
+                self.add_edge(current, frame.entry)
+                if frame.end is None:
+                    return
+                current = frame.end
+        self.add_edge(current, self.cfg.exit)
+
+
+def build_cfg(func) -> CFG:
+    """Build the control-flow graph of one (async) function definition."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg expects a function definition, got {type(func)}")
+    return _Builder(func).build()
+
+
+def iter_functions(tree: ast.AST) -> Iterator[tuple[str, "ast.FunctionDef | ast.AsyncFunctionDef"]]:
+    """Yield ``(qualname, node)`` for every function in ``tree``, including
+    methods and nested definitions (``Outer.inner`` style qualnames)."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from walk(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")

@@ -20,6 +20,8 @@ __all__ = [
     "render_findings",
     "write_findings_jsonl",
     "read_findings_jsonl",
+    "findings_to_sarif",
+    "write_findings_sarif",
 ]
 
 
@@ -89,6 +91,84 @@ def write_findings_jsonl(findings: Iterable[Finding], path: str | Path) -> Path:
     with path.open("w", encoding="utf-8") as handle:
         for finding in findings:
             handle.write(json.dumps(finding.to_dict(), default=str) + "\n")
+    return path
+
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def findings_to_sarif(findings: Iterable[Finding]) -> dict[str, Any]:
+    """SARIF 2.1.0 log: one run per tool, rules deduplicated per run.
+
+    The minimal-but-valid subset GitHub code scanning ingests: driver
+    name, rule metadata, and one result per finding with a physical
+    location. ``col`` is 0-based internally and 1-based in SARIF.
+    """
+    by_tool: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_tool.setdefault(finding.tool, []).append(finding)
+    runs = []
+    for tool in sorted(by_tool):
+        tool_findings = by_tool[tool]
+        rule_ids = sorted({f.rule for f in tool_findings})
+        rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+        results = []
+        for finding in tool_findings:
+            result: dict[str, Any] = {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+                "message": {"text": finding.message},
+            }
+            if finding.path:
+                region: dict[str, Any] = {"startLine": max(finding.line, 1)}
+                if finding.col:
+                    region["startColumn"] = finding.col + 1
+                result["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": region,
+                        }
+                    }
+                ]
+            if finding.context:
+                result["properties"] = {
+                    key: value for key, value in finding.context.items()
+                }
+            results.append(result)
+        runs.append(
+            {
+                "tool": {
+                    "driver": {
+                        "name": f"repro-analyze/{tool}",
+                        "informationUri": "https://example.invalid/repro-analyze",
+                        "rules": [
+                            {"id": rule, "name": rule} for rule in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": runs,
+    }
+
+
+def write_findings_sarif(findings: Iterable[Finding], path: str | Path) -> Path:
+    """Serialize :func:`findings_to_sarif` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(findings_to_sarif(findings), indent=2, default=str) + "\n",
+        encoding="utf-8",
+    )
     return path
 
 

@@ -32,14 +32,16 @@ Usage::
 
 from __future__ import annotations
 
+import json
 import sys
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterator
 
 from .findings import Finding
 
-__all__ = ["LocksetMonitor", "RaceReport", "self_check"]
+__all__ = ["LocksetMonitor", "RaceReport", "self_check", "write_order_edges_jsonl"]
 
 _MAX_SAMPLES = 6
 
@@ -80,11 +82,18 @@ class _VarState:
 
 
 class _TrackedLock:
-    """Proxy around a real lock; registers acquire/release with the monitor."""
+    """Proxy around a real lock; registers acquire/release with the monitor.
 
-    def __init__(self, inner: Any, monitor: "LocksetMonitor") -> None:
+    ``label`` is the lock's stable identity (``ClassName.attr``) — the
+    same abstraction the static lock-order analysis (RPR601) uses, so
+    observed acquisition-order edges and statically derived ones are
+    directly comparable.
+    """
+
+    def __init__(self, inner: Any, monitor: "LocksetMonitor", label: str = "") -> None:
         self._inner = inner
         self._monitor = monitor
+        self._label = label or f"lock@{id(inner):x}"
 
     def acquire(self, *args: Any, **kwargs: Any) -> bool:
         acquired = self._inner.acquire(*args, **kwargs)
@@ -115,14 +124,22 @@ def _is_lock_like(value: Any) -> bool:
     )
 
 
-def _caller_location() -> str:
-    """First stack frame outside this module (the instrumented write site)."""
+def _caller_frame() -> tuple[str, int, str]:
+    """(filename, line, function) of the first frame outside this module."""
     frame = sys._getframe(1)
     while frame is not None and frame.f_code.co_filename == __file__:
         frame = frame.f_back
     if frame is None:
+        return ("unknown", 0, "unknown")
+    return (frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name)
+
+
+def _caller_location() -> str:
+    """First stack frame outside this module (the instrumented write site)."""
+    filename, line, function = _caller_frame()
+    if filename == "unknown":
         return "unknown"
-    return f"{frame.f_code.co_filename}:{frame.f_lineno} in {frame.f_code.co_name}"
+    return f"{filename}:{line} in {function}"
 
 
 class _Instrumentation:
@@ -156,7 +173,10 @@ class _Instrumentation:
                 original_init(obj, *args, **kwargs)
                 for name, value in list(vars(obj).items()):
                     if _is_lock_like(value):
-                        original_setattr(obj, name, _TrackedLock(value, monitor))
+                        label = f"{type(obj).__name__}.{name}"
+                        original_setattr(
+                            obj, name, _TrackedLock(value, monitor, label)
+                        )
             finally:
                 monitor._end_construction(obj)
 
@@ -173,12 +193,14 @@ class LocksetMonitor:
 
     def __init__(self) -> None:
         self._held = threading.local()  # .counts: dict[id(proxy) -> depth]
+        # .stack: per-thread list of (id(proxy), label) in acquisition order
         self._state_lock = threading.Lock()
         self._state: dict[tuple[int, str], _VarState] = {}
         self._names: dict[tuple[int, str], str] = {}
         self._constructing: set[int] = set()
         self._tracked: set[int] = set()
         self._reports: list[RaceReport] = []
+        self._order_edges: dict[tuple[str, str], dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # Instrumentation lifecycle
@@ -208,15 +230,56 @@ class LocksetMonitor:
             self._held.counts = counts
         return counts
 
+    def _lock_stack(self) -> list[tuple[int, str]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
     def _push_lock(self, proxy: _TrackedLock) -> None:
         counts = self._lock_counts()
+        stack = self._lock_stack()
+        first = counts.get(id(proxy), 0) == 0
         counts[id(proxy)] = counts.get(id(proxy), 0) + 1
+        if not first:
+            return  # re-entrant acquire: no new ordering information
+        filename, line, function = _caller_frame()
+        new_edges: list[tuple[str, str, dict[str, Any]]] = []
+        for held_id, held_label in stack:
+            if held_id == id(proxy) or held_label == proxy._label:
+                continue
+            key = (held_label, proxy._label)
+            new_edges.append(
+                (
+                    held_label,
+                    proxy._label,
+                    {
+                        "from": held_label,
+                        "to": proxy._label,
+                        "path": filename,
+                        "line": line,
+                        "via": function,
+                        "source": "dynamic",
+                    },
+                )
+            )
+        stack.append((id(proxy), proxy._label))
+        if new_edges:
+            with self._state_lock:
+                for src, dst, edge in new_edges:
+                    self._order_edges.setdefault((src, dst), edge)
 
     def _pop_lock(self, proxy: _TrackedLock) -> None:
         counts = self._lock_counts()
         remaining = counts.get(id(proxy), 0) - 1
         if remaining <= 0:
             counts.pop(id(proxy), None)
+            stack = self._lock_stack()
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][0] == id(proxy):
+                    del stack[index]
+                    break
         else:
             counts[id(proxy)] = remaining
 
@@ -279,11 +342,37 @@ class LocksetMonitor:
                 + "\n".join(report.format() for report in reports)
             )
 
+    def order_edges(self) -> list[dict[str, Any]]:
+        """Observed lock-acquisition-order edges, deduplicated by pair.
+
+        Each edge is ``{"from", "to", "path", "line", "via", "source":
+        "dynamic"}`` — the same schema the static lock-order analysis
+        (RPR601) exports with ``source: "static"``, so the two sets diff
+        mechanically: a dynamic edge whose reverse appears statically is
+        a latent deadlock the test happened not to trigger.
+        """
+        with self._state_lock:
+            return sorted(
+                (dict(edge) for edge in self._order_edges.values()),
+                key=lambda edge: (edge["from"], edge["to"]),
+            )
+
     def reset(self) -> None:
         with self._state_lock:
             self._state.clear()
             self._names.clear()
             self._reports.clear()
+            self._order_edges.clear()
+
+
+def write_order_edges_jsonl(edges: list[dict[str, Any]], path: str | Path) -> Path:
+    """Write lock-order edges (static or dynamic) one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for edge in edges:
+            handle.write(json.dumps(edge, default=str) + "\n")
+    return path
 
 
 # ----------------------------------------------------------------------

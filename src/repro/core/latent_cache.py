@@ -77,11 +77,16 @@ class LatentCache:
     def _metrics(self) -> MetricsRegistry | NullMetricsRegistry:
         return self.metrics if self.metrics is not None else global_registry()
 
+    # Metric emission happens strictly *outside* ``_lock``: the registry's
+    # get-or-create and each instrument's own lock must never nest inside
+    # the cache lock, or ``LatentCache._lock`` picks up lock-order edges
+    # into the metrics substrate (flagged by the RPR601 flow analysis).
+
     def put(self, key: str, encoding: CachedEncoding) -> None:
         if not self.enabled:
             return
         metrics = self._metrics()
-        eviction_counter = metrics.counter("cache.evictions")
+        evicted = 0
         with self._lock:
             if key in self._store:
                 self._store.move_to_end(key)
@@ -94,9 +99,13 @@ class LatentCache:
                 evicted_key, _ = self._store.popitem(last=False)
                 self.bytes -= self._sizes.pop(evicted_key, 0)
                 self.evictions += 1
-                eviction_counter.inc()
-            metrics.gauge("cache.bytes").set(self.bytes)
-            metrics.gauge("cache.entries").set(len(self._store))
+                evicted += 1
+            total_bytes = self.bytes
+            entries = len(self._store)
+        if evicted:
+            metrics.counter("cache.evictions").inc(evicted)
+        metrics.gauge("cache.bytes").set(total_bytes)
+        metrics.gauge("cache.entries").set(entries)
 
     def get(self, key: str) -> CachedEncoding | None:
         metrics = self._metrics()
@@ -104,26 +113,39 @@ class LatentCache:
             if not self.enabled:
                 # Not a miss: the lookup was never attempted against a store.
                 self.disabled_lookups += 1
-                metrics.counter("cache.disabled_lookups").inc()
-                return None
-            encoding = self._store.get(key)
-            if encoding is None:
-                self.misses += 1
-                metrics.counter("cache.misses").inc()
-                return None
-            self.hits += 1
+                outcome = "disabled"
+                encoding = None
+            else:
+                encoding = self._store.get(key)
+                if encoding is None:
+                    self.misses += 1
+                    outcome = "miss"
+                else:
+                    self.hits += 1
+                    outcome = "hit"
+                    self._store.move_to_end(key)
+        if outcome == "disabled":
+            metrics.counter("cache.disabled_lookups").inc()
+        elif outcome == "miss":
+            metrics.counter("cache.misses").inc()
+        else:
             metrics.counter("cache.hits").inc()
-            self._store.move_to_end(key)
-            return encoding
+        return encoding
 
     def invalidate(self, key: str) -> None:
+        metrics = self._metrics()
         with self._lock:
-            if self._store.pop(key, None) is not None:
+            removed = self._store.pop(key, None) is not None
+            if removed:
                 self.bytes -= self._sizes.pop(key, 0)
-                self._metrics().gauge("cache.bytes").set(self.bytes)
-                self._metrics().gauge("cache.entries").set(len(self._store))
+            total_bytes = self.bytes
+            entries = len(self._store)
+        if removed:
+            metrics.gauge("cache.bytes").set(total_bytes)
+            metrics.gauge("cache.entries").set(entries)
 
     def clear(self) -> None:
+        metrics = self._metrics()
         with self._lock:
             self._store.clear()
             self._sizes.clear()
@@ -132,8 +154,8 @@ class LatentCache:
             self.evictions = 0
             self.disabled_lookups = 0
             self.bytes = 0
-            self._metrics().gauge("cache.bytes").set(0)
-            self._metrics().gauge("cache.entries").set(0)
+        metrics.gauge("cache.bytes").set(0)
+        metrics.gauge("cache.entries").set(0)
 
     def __len__(self) -> int:
         with self._lock:

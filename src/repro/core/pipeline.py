@@ -25,10 +25,14 @@ import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 from ..obs import NULL_METRICS
 from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
 from .phases import TableJob
+
+if TYPE_CHECKING:
+    from ..sched.batcher import InferenceBatcher
 
 __all__ = ["PipelinedExecutor", "SequentialExecutor"]
 
@@ -73,7 +77,7 @@ class PipelinedExecutor:
         prep_workers: int = 2,
         infer_workers: int = 2,
         wait_timeout: float = 5.0,
-        batcher=None,
+        batcher: "InferenceBatcher | None" = None,
     ) -> None:
         if prep_workers < 1 or infer_workers < 1:
             raise ValueError("both thread pools need at least one worker")

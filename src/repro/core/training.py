@@ -110,8 +110,7 @@ def fine_tune(
     model.train()
     with tracer.span("train", epochs=config.epochs, num_chunks=len(encoded)):
         for epoch in range(config.epochs):
-            epoch_span = tracer.span("train.epoch", epoch=epoch)
-            with epoch_span:
+            with tracer.span("train.epoch", epoch=epoch) as epoch_span:
                 order = rng.permutation(len(encoded))
                 epoch_total, epoch_meta, epoch_content, batches = 0.0, 0.0, 0.0, 0
                 for start in range(0, len(order), config.batch_size):

@@ -1,0 +1,306 @@
+"""CFG builder coverage on the control-flow shapes the leak checks rely on."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg, iter_functions
+
+
+def _cfg(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func), func
+
+
+def _stmt_with(func: ast.AST, needle: str) -> ast.stmt:
+    """The first statement whose source contains ``needle``."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and needle in ast.unparse(node).split("\n")[0]:
+            return node
+    raise AssertionError(f"no statement matching {needle!r}")
+
+
+def _blocks_with(cfg, func, needle: str) -> set[int]:
+    out = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt):
+            first_line = ast.unparse(node).split("\n")[0]
+            if needle in first_line:
+                block = cfg.block_of(node)
+                if block is not None:
+                    out.add(block)
+    return out
+
+
+def test_straight_line_reaches_exit():
+    cfg, func = _cfg(
+        """
+        def f():
+            a = 1
+            b = 2
+            return a + b
+        """
+    )
+    start = cfg.block_of(_stmt_with(func, "a = 1"))
+    assert cfg.reaches_exit_avoiding(start, set())
+    # All three statements share one basic block.
+    assert cfg.block_of(_stmt_with(func, "b = 2")) == start
+
+
+def test_if_without_else_has_skip_path():
+    cfg, func = _cfg(
+        """
+        def f(p):
+            x = open_thing()
+            if p:
+                x.close()
+            done()
+        """
+    )
+    acquire = cfg.block_of(_stmt_with(func, "open_thing"))
+    close_blocks = _blocks_with(cfg, func, "x.close()")
+    # The false branch skips close: a close-avoiding path must exist.
+    assert cfg.reaches_exit_avoiding(acquire, close_blocks)
+
+
+def test_if_else_both_branches_covered():
+    cfg, func = _cfg(
+        """
+        def f(p):
+            x = open_thing()
+            if p:
+                x.close()
+            else:
+                x.close()
+        """
+    )
+    acquire = cfg.block_of(_stmt_with(func, "open_thing"))
+    close_blocks = _blocks_with(cfg, func, "x.close()")
+    assert len(close_blocks) == 2
+    assert not cfg.reaches_exit_avoiding(acquire, close_blocks)
+
+
+def test_try_finally_covers_normal_and_raising_paths():
+    cfg, func = _cfg(
+        """
+        def f():
+            x = open_thing()
+            try:
+                use(x)
+                return compute(x)
+            finally:
+                x.close()
+        """
+    )
+    acquire = cfg.block_of(_stmt_with(func, "open_thing"))
+    close_blocks = _blocks_with(cfg, func, "x.close()")
+    # Both the early return and the implicit-exception path route
+    # through the finally: no close-avoiding path exists.
+    assert not cfg.reaches_exit_avoiding(acquire, close_blocks)
+
+
+def test_try_except_finally_exception_edges():
+    cfg, func = _cfg(
+        """
+        def f():
+            x = open_thing()
+            try:
+                use(x)
+            except ValueError:
+                handle()
+            finally:
+                x.close()
+            after()
+        """
+    )
+    acquire = cfg.block_of(_stmt_with(func, "open_thing"))
+    use_block = cfg.block_of(_stmt_with(func, "use(x)"))
+    handler_block = cfg.block_of(_stmt_with(func, "handle()"))
+    close_blocks = _blocks_with(cfg, func, "x.close()")
+    after_block = cfg.block_of(_stmt_with(func, "after()"))
+    # try-body has an exception edge into the handler.
+    assert handler_block in cfg.reachable_from(use_block)
+    # Every path passes the finally.
+    assert not cfg.reaches_exit_avoiding(acquire, close_blocks)
+    # Normal completion continues past the try.
+    assert after_block in cfg.reachable_from(acquire)
+
+
+def test_return_in_try_skips_code_after_finally():
+    cfg, func = _cfg(
+        """
+        def f():
+            try:
+                return early()
+            finally:
+                cleanup()
+            unreachable()
+        """
+    )
+    cleanup_blocks = _blocks_with(cfg, func, "cleanup()")
+    entry_reachable = cfg.reachable_from(cfg.entry)
+    assert cleanup_blocks <= entry_reachable
+    # The return routes through the finally straight to the exit; the
+    # statement after the try is never reached.
+    unreachable_block = cfg.block_of(_stmt_with(func, "unreachable()"))
+    assert unreachable_block not in entry_reachable
+
+
+def test_multi_item_with_and_early_return():
+    cfg, func = _cfg(
+        """
+        def f(p):
+            with lock_a, lock_b:
+                if p:
+                    return fast()
+                slow()
+            tail()
+        """
+    )
+    with_stmt = _stmt_with(func, "with lock_a")
+    assert isinstance(with_stmt, ast.With)
+    assert len(with_stmt.items) == 2
+    with_block = cfg.block_of(with_stmt)
+    return_block = cfg.block_of(_stmt_with(func, "return fast()"))
+    tail_block = cfg.block_of(_stmt_with(func, "tail()"))
+    reachable = cfg.reachable_from(with_block)
+    assert return_block in reachable and tail_block in reachable
+    # The early return bypasses the tail but still reaches the exit.
+    assert cfg.exit in cfg.reachable_from(return_block)
+    assert tail_block not in cfg.reachable_from(return_block)
+
+
+def test_loop_with_break_and_continue():
+    cfg, func = _cfg(
+        """
+        def f(items):
+            for item in items:
+                if bad(item):
+                    continue
+                if done(item):
+                    break
+                work(item)
+            after()
+        """
+    )
+    loop_head = cfg.block_of(_stmt_with(func, "for item in items"))
+    work_block = cfg.block_of(_stmt_with(func, "work(item)"))
+    after_block = cfg.block_of(_stmt_with(func, "after()"))
+    continue_block = cfg.block_of(_stmt_with(func, "continue"))
+    break_block = cfg.block_of(_stmt_with(func, "break"))
+    # continue loops back to the head, break jumps past it.
+    assert loop_head in cfg.blocks[continue_block].successors or loop_head in cfg.reachable_from(continue_block)
+    assert after_block in cfg.reachable_from(break_block)
+    assert loop_head not in cfg.reachable_from(break_block)
+    # The loop body cycles: work reaches the head again.
+    assert loop_head in cfg.reachable_from(work_block)
+    assert cfg.exit in cfg.reachable_from(loop_head)
+
+
+def test_break_routes_through_finally():
+    cfg, func = _cfg(
+        """
+        def f(items):
+            for item in items:
+                try:
+                    if done(item):
+                        break
+                finally:
+                    cleanup(item)
+            after()
+        """
+    )
+    break_block = cfg.block_of(_stmt_with(func, "break"))
+    cleanup_blocks = _blocks_with(cfg, func, "cleanup(item)")
+    after_block = cfg.block_of(_stmt_with(func, "after()"))
+    # break cannot skip the finally on its way out of the loop.
+    assert not cfg.reaches_exit_avoiding(break_block, cleanup_blocks)
+    assert after_block in cfg.reachable_from(break_block)
+
+
+def test_while_else_runs_only_without_break():
+    cfg, func = _cfg(
+        """
+        def f(p):
+            while p:
+                if q():
+                    break
+            else:
+                no_break()
+            after()
+        """
+    )
+    break_stmt = next(n for n in ast.walk(func) if isinstance(n, ast.Break))
+    break_block = cfg.block_of(break_stmt)
+    else_block = cfg.block_of(_stmt_with(func, "no_break()"))
+    assert else_block not in cfg.reachable_from(break_block)
+    head = cfg.block_of(_stmt_with(func, "while p"))
+    assert else_block in cfg.reachable_from(head)
+
+
+def test_nested_function_bodies_are_opaque():
+    cfg, func = _cfg(
+        """
+        def outer():
+            x = open_thing()
+
+            def inner():
+                return x.close()
+
+            return inner
+        """
+    )
+    acquire = cfg.block_of(_stmt_with(func, "open_thing"))
+    # inner's close() is not part of outer's CFG: a close-avoiding path
+    # exists in outer (the inner def is a single opaque statement).
+    close_blocks = _blocks_with(cfg, func, "x.close()")
+    assert cfg.reaches_exit_avoiding(acquire, close_blocks)
+
+
+def test_iter_functions_yields_nested_qualnames():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def top():
+                def inner():
+                    pass
+
+            class C:
+                def method(self):
+                    def helper():
+                        pass
+            """
+        )
+    )
+    names = [qualname for qualname, _ in iter_functions(tree)]
+    assert names == ["top", "top.inner", "C.method", "C.method.helper"]
+    # Every yielded node builds a CFG.
+    for _, node in iter_functions(tree):
+        assert len(build_cfg(node)) >= 2  # entry + exit at minimum
+
+
+def test_raise_reaches_handler_and_finally():
+    cfg, func = _cfg(
+        """
+        def f():
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                handled()
+            finally:
+                cleanup()
+            after()
+        """
+    )
+    raise_block = cfg.block_of(_stmt_with(func, "raise ValueError"))
+    handler_block = cfg.block_of(_stmt_with(func, "handled()"))
+    cleanup_blocks = _blocks_with(cfg, func, "cleanup()")
+    assert handler_block in cfg.reachable_from(raise_block)
+    assert not cfg.reaches_exit_avoiding(raise_block, cleanup_blocks)
+    assert cfg.block_of(_stmt_with(func, "after()")) in cfg.reachable_from(raise_block)
