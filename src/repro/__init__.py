@@ -1,6 +1,15 @@
 """Reproduction of "TASTE: Towards Practical Deep Learning-based
 Approaches for Semantic Type Detection in the Cloud" (EDBT 2025).
 
+The canonical public surface is re-exported here: build a
+:class:`TasteDetector` (configured by :class:`DetectorConfig` /
+:class:`RuntimeConfig`, called with :class:`DetectOptions`), or serve it
+to many tenants through :class:`DetectionService` (configured by
+:class:`ServiceConfig`). Results come back as :class:`DetectionReport` /
+:class:`TableResult` / :class:`ColumnPrediction` records with versioned
+``to_dict()``/``from_dict()`` round-trips, and everything the framework
+raises on purpose lives in the :mod:`repro.errors` hierarchy.
+
 Subpackages
 -----------
 ``repro.nn``
@@ -21,6 +30,12 @@ Subpackages
     pipelined execution, training.
 ``repro.sched``
     Adaptive cross-table inference batching (the paper's S2 batching).
+``repro.serve``
+    The multi-tenant detection service: admission control, fair
+    scheduling, job lifecycle over one warm detector.
+``repro.errors``
+    The consolidated exception hierarchy (one base class,
+    :class:`~repro.errors.ReproError`).
 ``repro.baselines``
     TURL-like, Doduo-like, regex and dictionary baselines.
 ``repro.metrics``
@@ -32,19 +47,44 @@ Subpackages
     One module per table/figure of the paper's evaluation.
 """
 
-from . import baselines, core, datagen, db, faults, features, metrics, nn, obs, sched, text
+from . import baselines, core, datagen, db, errors, faults, features, metrics, nn, obs, sched, serve, text
+from .core import (
+    ColumnPrediction,
+    DetectionReport,
+    DetectOptions,
+    DetectorConfig,
+    RuntimeConfig,
+    TableResult,
+    TasteDetector,
+)
+from .serve import DetectionService, JobHandle, ServiceConfig, TenantQuota
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    # canonical API
+    "TasteDetector",
+    "DetectorConfig",
+    "RuntimeConfig",
+    "DetectOptions",
+    "DetectionService",
+    "ServiceConfig",
+    "TenantQuota",
+    "JobHandle",
+    "DetectionReport",
+    "TableResult",
+    "ColumnPrediction",
+    # subpackages
     "nn",
     "text",
     "datagen",
     "db",
+    "errors",
     "faults",
     "features",
     "core",
     "sched",
+    "serve",
     "baselines",
     "metrics",
     "obs",

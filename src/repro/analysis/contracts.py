@@ -43,9 +43,16 @@ __all__ = [
     "registry_markdown",
 ]
 
-_INSTRUMENT_METHODS = {"counter", "gauge", "histogram", "span"}
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram", "span", "interval"}
+# ``Tracer.interval(name, started, ended, parent=..., **attrs)`` records an
+# already-finished span cross-thread; it contributes to the span namespace.
+_INSTRUMENT_KINDS = {"interval": "span"}
 # ``histogram(name, buckets=..., **labels)``: buckets is a parameter, not a label.
-_NON_LABEL_KWARGS = {"histogram": {"buckets"}}
+_NON_LABEL_KWARGS = {
+    "histogram": {"buckets"},
+    "span": set(),
+    "interval": {"started", "ended", "parent"},
+}
 # The substrate itself (and its tests-of-itself) defines these calls.
 _EXCLUDED_PATH_PARTS = ("repro/obs/",)
 
@@ -125,8 +132,9 @@ def collect_metric_uses(
             name = _literal_name(node.args[0])
             if name is None:
                 continue
-            kind = node.func.attr
-            skip = _NON_LABEL_KWARGS.get(kind, set())
+            method = node.func.attr
+            kind = _INSTRUMENT_KINDS.get(method, method)
+            skip = _NON_LABEL_KWARGS.get(method, set())
             labels = tuple(
                 sorted(
                     kw.arg

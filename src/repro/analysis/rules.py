@@ -520,6 +520,66 @@ class BroadExceptAroundDBCall(Rule):
                 )
 
 
+@register
+class LegacyDetectorKwargs(Rule):
+    id = "RPR403"
+    name = "api-legacy-detector-kwargs"
+    description = (
+        "TasteDetector(...) called with pre-1.1 flat keyword arguments; "
+        "pass config=DetectorConfig(...) / runtime=RuntimeConfig(...) instead"
+    )
+    # The shim that translates (and deprecates) these lives in core/detector.
+    exclude = ("repro/core/detector.py",)
+
+    # Mirrors detector_config_field_names() + the runtime kwargs the shim
+    # accepts; kept literal so the linter stays import-free.
+    _CONFIG_KWARGS = {
+        "caching",
+        "pipelined",
+        "prep_workers",
+        "infer_workers",
+        "scan_method",
+        "sample_seed",
+        "cache_capacity",
+        "batching",
+    }
+    _RUNTIME_KWARGS = {"tracer", "metrics"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        legacy = self._CONFIG_KWARGS | self._RUNTIME_KWARGS
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and node.keywords):
+                continue
+            if isinstance(node.func, ast.Name):
+                callee = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            else:
+                continue
+            if callee != "TasteDetector":
+                continue
+            used = sorted(
+                kw.arg for kw in node.keywords if kw.arg is not None and kw.arg in legacy
+            )
+            if not used:
+                continue
+            config_part = [kw for kw in used if kw in self._CONFIG_KWARGS]
+            runtime_part = [kw for kw in used if kw in self._RUNTIME_KWARGS]
+            hints = []
+            if config_part:
+                hints.append(f"config=DetectorConfig({', '.join(config_part)}=...)")
+            if runtime_part:
+                hints.append(f"runtime=RuntimeConfig({', '.join(runtime_part)}=...)")
+            yield ctx.finding(
+                self,
+                node,
+                f"TasteDetector(...) uses legacy kwarg(s) {', '.join(used)}; "
+                f"pass {' and '.join(hints)} — the shim warns today and "
+                "raises under RuntimeConfig(strict_api=True)",
+                kwargs=used,
+            )
+
+
 # ----------------------------------------------------------------------
 # RPR5xx — inference throughput
 # ----------------------------------------------------------------------

@@ -119,13 +119,17 @@ class RuntimeConfig:
     stays frozen and shareable). ``retry_policy`` is applied to every
     data-preparation stage and to connection setup; ``degrade=True`` turns
     exhausted retries into degraded/failed table markers instead of a
-    raised exception.
+    raised exception. ``strict_api=True`` upgrades the legacy-kwarg shim
+    from :class:`DeprecationWarning` to a hard
+    :class:`~repro.errors.LegacyAPIError` (a ``TypeError``); the default
+    stays permissive for one more release.
     """
 
     tracer: "Tracer | None" = None
     metrics: "MetricsRegistry | NullMetricsRegistry | None" = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     degrade: bool = True
+    strict_api: bool = False
 
     def replace(self, **changes: Any) -> "RuntimeConfig":
         return replace(self, **changes)

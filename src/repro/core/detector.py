@@ -25,7 +25,9 @@ resilience)::
 
 The pre-1.1 keyword arguments (``caching=``, ``pipelined=``, ...) still
 work through a deprecation shim that emits one :class:`DeprecationWarning`
-per legacy call.
+per legacy call; under ``RuntimeConfig(strict_api=True)`` the shim raises
+:class:`~repro.errors.LegacyAPIError` instead (rule RPR403 flags in-repo
+call sites).
 """
 
 from __future__ import annotations
@@ -36,7 +38,7 @@ from pathlib import Path
 
 from ..core.adtd import ADTDModel
 from ..db.server import CloudDatabaseServer
-from ..faults.errors import RetryGiveUpError
+from ..errors import LegacyAPIError, RetryGiveUpError
 from ..faults.plan import FaultInjector
 from ..features.encoding import Featurizer
 from ..obs import Tracer, write_spans_jsonl
@@ -280,6 +282,13 @@ def _shim_legacy_kwargs(
     if (config is not None and config_kwargs) or (runtime is not None and runtime_kwargs):
         raise TypeError(
             "pass either config=/runtime= objects or legacy keyword arguments, not both"
+        )
+    if runtime is not None and runtime.strict_api:
+        raise LegacyAPIError(
+            "TasteDetector legacy keyword argument(s) "
+            f"{sorted(legacy_kwargs)} are rejected under "
+            "RuntimeConfig(strict_api=True); pass config=DetectorConfig(...) "
+            "/ runtime=RuntimeConfig(...) instead"
         )
     warnings.warn(
         "TasteDetector keyword arguments "

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..db.connection import Connection
 from ..db.schema import TableMetadata
-from ..faults.errors import DeadlineExceededError, RetryGiveUpError
+from ..errors import DeadlineExceededError, RetryGiveUpError
 from ..features.encoding import EncodedTable, split_metadata
 from ..nn.functional import stable_sigmoid
 from ..obs import NULL_METRICS, NULL_TRACER
@@ -66,17 +66,39 @@ class ChunkState:
 
 
 class TableJob:
-    """Processing state for one table across the four stages."""
+    """Processing state for one table across the four stages.
 
-    def __init__(self, detector: "TasteDetector", connection: Connection, table_name: str) -> None:
+    ``cache_scope`` namespaces this job's latent-cache keys; the detection
+    service sets it per (tenant, server) so two tenants with a table of
+    the same name can never poison each other's cached latents. The
+    direct ``detect()`` path leaves it empty (one connection, one run —
+    the table name alone is unambiguous). ``span_attrs`` is merged into
+    every stage span, which is how service runs link job → table → stage
+    without changing the span tree shape.
+    """
+
+    def __init__(
+        self,
+        detector: "TasteDetector",
+        connection: Connection,
+        table_name: str,
+        cache_scope: str = "",
+        span_attrs: dict[str, object] | None = None,
+    ) -> None:
         self.detector = detector
         self.connection = connection
         self.table_name = table_name
+        self.cache_scope = cache_scope
+        self.span_attrs = span_attrs if span_attrs is not None else {}
         self.metadata: TableMetadata | None = None
         self.chunks: list[ChunkState] = []
         self.content_by_column: dict[int, list[str]] = {}
         self.result = TableResult(table_name, predictions=[])
         self.completed_stages = 0
+
+    def cache_key(self, chunk_index: int) -> str:
+        """Latent-cache key for one chunk, prefixed with the job's scope."""
+        return f"{self.cache_scope}{self.table_name}#{chunk_index}"
 
     # ------------------------------------------------------------------
     @property
@@ -124,7 +146,12 @@ class TableJob:
             call = runner
         if tracer.enabled:
             with tracer.span(
-                f"stage.{name}", table=self.table_name, stage=name, kind=kind, index=stage
+                f"stage.{name}",
+                table=self.table_name,
+                stage=name,
+                kind=kind,
+                index=stage,
+                **self.span_attrs,
             ) as span:
                 call()
                 if self.result.retries:
@@ -240,9 +267,8 @@ class TableJob:
             probs = outcome.probs  # (C, num_labels)
             chunk.meta_probs = probs
 
-            cache_key = f"{self.table_name}#{chunk_index}"
             if policy.phase2_enabled:
-                detector.cache.put(cache_key, outcome.encoding)
+                detector.cache.put(self.cache_key(chunk_index), outcome.encoding)
 
             uncertain = policy.uncertain_columns(probs) if policy.phase2_enabled else np.zeros(0, dtype=np.int64)
             chunk.uncertain_local = uncertain
@@ -326,7 +352,7 @@ class TableJob:
                     encoded=encoded,
                     meta_width=detector.bucketed_width(len(encoded.meta.token_ids)),
                     content_width=detector.bucketed_width(len(encoded.content.token_ids)),
-                    cached=detector.cache.get(f"{self.table_name}#{chunk_index}"),
+                    cached=detector.cache.get(self.cache_key(chunk_index)),
                 )
             )
             request_chunks.append(chunk)

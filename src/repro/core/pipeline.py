@@ -15,6 +15,13 @@ Stage callables run inside a copy of the dispatcher's :mod:`contextvars`
 context, so tracer spans opened on worker threads parent to the run's
 root span.
 
+Where jobs come from is abstracted behind :class:`JobSource` so the same
+loop serves two callers: the one-shot :meth:`PipelinedExecutor.run` (a
+static list of jobs, exit when drained, first failure aborts) and the
+long-lived :class:`~repro.serve.DetectionService` (jobs arrive and are
+cancelled while the loop runs; per-table failures are absorbed into the
+table's result instead of killing the loop).
+
 ``SequentialExecutor`` is the ablation baseline: tables processed one by
 one, stages strictly in order, no overlap.
 """
@@ -25,7 +32,7 @@ import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 from ..obs import NULL_METRICS
 from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
@@ -34,7 +41,7 @@ from .phases import TableJob
 if TYPE_CHECKING:
     from ..sched.batcher import InferenceBatcher
 
-__all__ = ["PipelinedExecutor", "SequentialExecutor"]
+__all__ = ["JobSource", "PipelinedExecutor", "SequentialExecutor"]
 
 
 class SequentialExecutor:
@@ -50,6 +57,74 @@ class SequentialExecutor:
                 job.run_next_stage()
 
 
+class JobSource(Protocol):
+    """Where the dispatch loop gets its jobs and reports their progress.
+
+    The source owns ``condition`` — the one lock of the whole dispatch
+    loop. Every method below is called *with that condition held*; a
+    source that enqueues or cancels jobs from other threads must take the
+    same condition and ``notify_all()`` so the loop re-reads ``pending()``.
+    """
+
+    condition: threading.Condition
+
+    def pending(self) -> list[TableJob]:
+        """Dispatchable (not-done) jobs, in dispatch-priority order."""
+        ...
+
+    def finished(self) -> bool:
+        """True when a drained loop (nothing pending/running) should exit."""
+        ...
+
+    def aborted(self) -> bool:
+        """True when the loop should stop immediately (fatal failure)."""
+        ...
+
+    def note_dispatch(self, job: TableJob, kind: str) -> None:
+        """A stage of ``job`` was just handed to the ``kind`` pool."""
+        ...
+
+    def note_stage_complete(self, job: TableJob) -> None:
+        """A stage of ``job`` finished normally."""
+        ...
+
+    def note_stage_error(self, job: TableJob, error: BaseException) -> None:
+        """A stage of ``job`` raised ``error`` out of ``run_next_stage``."""
+        ...
+
+
+class _StaticSource:
+    """The one-shot source behind :meth:`PipelinedExecutor.run`.
+
+    A fixed job list, drained to completion; the first stage failure
+    aborts the loop and is re-raised to the caller (matching the
+    pre-service executor semantics exactly).
+    """
+
+    def __init__(self, jobs: list[TableJob]) -> None:
+        self.condition = threading.Condition()
+        self.jobs = jobs
+        self.failures: list[BaseException] = []
+
+    def pending(self) -> list[TableJob]:
+        return [job for job in self.jobs if not job.done]
+
+    def finished(self) -> bool:
+        return True
+
+    def aborted(self) -> bool:
+        return bool(self.failures)
+
+    def note_dispatch(self, job: TableJob, kind: str) -> None:
+        return None
+
+    def note_stage_complete(self, job: TableJob) -> None:
+        return None
+
+    def note_stage_error(self, job: TableJob, error: BaseException) -> None:
+        self.failures.append(error)
+
+
 class PipelinedExecutor:
     """Algorithm 1: stage queue drained by two thread pools.
 
@@ -61,8 +136,11 @@ class PipelinedExecutor:
         Size of TP2 (inference pool).
     wait_timeout:
         Safety-net timeout for the dispatch loop's ``condition.wait``.
-        Workers always notify on completion, so this should never fire; a
-        firing increments ``pipeline.wait_timeouts``.
+        Workers always notify on completion, so with work outstanding
+        this should never fire; a firing with stages pending or running
+        increments ``pipeline.wait_timeouts``. (An idle long-lived source
+        waiting for new jobs times out routinely; that is not a stall and
+        is not counted.)
     batcher:
         Optional :class:`~repro.sched.InferenceBatcher`. When set, the
         executor serves it for the duration of each run and feeds it
@@ -93,6 +171,7 @@ class PipelinedExecutor:
     ) -> None:
         if not jobs:
             return
+        source = _StaticSource(jobs)
         if self.batcher is not None:
             # Serve the batcher for exactly this run; the context exits
             # (draining the queue and joining the compute thread) only
@@ -100,15 +179,25 @@ class PipelinedExecutor:
             # ever block on a stopped batcher.
             with self.batcher.serving():
                 self.batcher.note_state(len(jobs), 0)
-                self._run(jobs, metrics)
+                self.run_source(source, metrics)
         else:
-            self._run(jobs, metrics)
+            self.run_source(source, metrics)
+        if source.failures:
+            raise source.failures[0]
 
-    def _run(
+    def run_source(
         self,
-        jobs: list[TableJob],
+        source: JobSource,
         metrics: MetricsRegistry | NullMetricsRegistry | None = None,
     ) -> None:
+        """Drain ``source`` through the two thread pools until it finishes.
+
+        The long-lived entry point: the loop keeps waiting on the
+        source's condition while ``finished()`` is false, so a service
+        can keep enqueuing jobs. All loop state (in-flight counts, the
+        running set, eligibility clocks) is local; the only shared lock
+        is ``source.condition``.
+        """
         metrics = metrics if metrics is not None else global_registry()
         in_flight_gauges = {
             kind: metrics.gauge("pipeline.in_flight", pool=kind)
@@ -126,25 +215,32 @@ class PipelinedExecutor:
         wait_timeouts = metrics.counter("pipeline.wait_timeouts")
         dispatch_seconds = metrics.histogram("pipeline.dispatch_seconds")
 
-        condition = threading.Condition()
+        condition = source.condition
         in_flight = {"prep": 0, "infer": 0}
-        failures: list[BaseException] = []
         # A job is dispatchable when it is not done and not currently running.
         running: set[int] = set()
         # id(job) -> clock reading when its next stage became eligible.
-        eligible_since = {id(job): time.perf_counter() for job in jobs}
+        eligible_since: dict[int, float] = {}
 
         def worker(job: TableJob, kind: str) -> None:
+            error: BaseException | None = None
             try:
                 job.run_next_stage()
-            except BaseException as error:  # surface in the caller
-                failures.append(error)
+            except BaseException as stage_error:  # routed to the source
+                error = stage_error
             finally:
                 with condition:
                     in_flight[kind] -= 1
                     in_flight_gauges[kind].set(in_flight[kind])
                     running.discard(id(job))
-                    eligible_since[id(job)] = time.perf_counter()
+                    if job.done:
+                        eligible_since.pop(id(job), None)
+                    else:
+                        eligible_since[id(job)] = time.perf_counter()
+                    if error is None:
+                        source.note_stage_complete(job)
+                    else:
+                        source.note_stage_error(job, error)
                     condition.notify_all()
 
         limits = {"prep": self.prep_workers, "infer": self.infer_workers}
@@ -153,12 +249,14 @@ class PipelinedExecutor:
             pools = {"prep": tp1, "infer": tp2}
             with condition:
                 while True:
-                    if failures:
+                    if source.aborted():
                         break
-                    pending = [job for job in jobs if not job.done]
-                    if not pending and not running:
+                    pending = [job for job in source.pending() if not job.done]
+                    if not pending and not running and source.finished():
                         break
                     pass_started = time.perf_counter()
+                    for job in pending:
+                        eligible_since.setdefault(id(job), pass_started)
                     dispatched = False
                     for kind in ("prep", "infer"):
                         if in_flight[kind] >= limits[kind]:
@@ -177,6 +275,7 @@ class PipelinedExecutor:
                             in_flight[kind] += 1
                             in_flight_gauges[kind].set(in_flight[kind])
                             dispatch_counters[kind].inc()
+                            source.note_dispatch(job, kind)
                             # Run the stage inside the dispatcher's context so
                             # spans opened on the worker thread keep the run's
                             # root span as an ancestor.
@@ -210,10 +309,11 @@ class PipelinedExecutor:
                         )
                     if not dispatched:
                         # Event-driven wait: workers notify on completion, so
-                        # a timeout here is a stall, not normal operation.
+                        # a timeout with work outstanding is a stall. An idle
+                        # long-lived source (nothing pending or running,
+                        # waiting for submissions) times out as a matter of
+                        # course and is not counted.
                         notified = condition.wait(timeout=self.wait_timeout)
                         wakeups.inc()
-                        if not notified:
+                        if not notified and (pending or running):
                             wait_timeouts.inc()
-        if failures:
-            raise failures[0]

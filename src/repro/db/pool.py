@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from ..errors import Cancelled, PoolExhaustedError
 from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
 from .connection import Connection
 from .server import CloudDatabaseServer
@@ -28,10 +29,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.retry import RetryPolicy
 
 __all__ = ["ConnectionPool", "PoolStats", "PoolExhaustedError"]
-
-
-class PoolExhaustedError(RuntimeError):
-    """Raised when acquiring from a full pool with no idle connections."""
 
 
 @dataclass(frozen=True)
@@ -86,17 +83,31 @@ class ConnectionPool:
         self._lock = threading.Condition()
 
     # ------------------------------------------------------------------
-    def acquire(self, block: bool = False, timeout: float = 5.0) -> Connection:
+    def acquire(
+        self,
+        block: bool = False,
+        timeout: float = 5.0,
+        abort: Callable[[], bool] | None = None,
+    ) -> Connection:
         """Take a connection: an idle one if available, else a new one.
 
         With ``block=False`` (default) a :class:`PoolExhaustedError` is
         raised when the pool is at capacity with nothing idle; with
         ``block=True`` the caller waits up to ``timeout`` seconds, waking
         on every release and re-checking the remaining deadline.
+
+        ``abort`` is a cancellation probe re-evaluated on every wakeup
+        (spurious or notified): when it returns true the wait stops
+        immediately with :class:`~repro.errors.Cancelled` instead of
+        running out the timeout. Cancellers must call
+        :meth:`wake_waiters` after flipping their flag, or the blocked
+        acquirer only notices at the next release/timeout.
         """
         deadline = time.monotonic() + timeout
         while True:
             with self._lock:
+                if abort is not None and abort():
+                    raise Cancelled("acquire aborted by caller cancellation")
                 self._acquired += 1
                 if self._idle:
                     self._reused += 1
@@ -148,9 +159,23 @@ class ConnectionPool:
                 self._idle.append(connection)
             self._lock.notify_all()
 
-    def lease(self) -> "_Lease":
+    def wake_waiters(self) -> None:
+        """Wake every blocked :meth:`acquire` so it re-checks its ``abort``.
+
+        Cancellation is cooperative: flipping an abort flag does not by
+        itself interrupt a `Condition.wait`, so cancellers call this right
+        after setting their flag.
+        """
+        with self._lock:
+            self._lock.notify_all()
+
+    def lease(
+        self,
+        timeout: float = 5.0,
+        abort: Callable[[], bool] | None = None,
+    ) -> "_Lease":
         """Context manager acquiring on enter and releasing on exit."""
-        return _Lease(self)
+        return _Lease(self, timeout=timeout, abort=abort)
 
     def close(self) -> None:
         """Close all idle connections."""
@@ -168,12 +193,21 @@ class ConnectionPool:
 
 
 class _Lease:
-    def __init__(self, pool: ConnectionPool) -> None:
+    def __init__(
+        self,
+        pool: ConnectionPool,
+        timeout: float = 5.0,
+        abort: Callable[[], bool] | None = None,
+    ) -> None:
         self._pool = pool
+        self._timeout = timeout
+        self._abort = abort
         self._connection: Connection | None = None
 
     def __enter__(self) -> Connection:
-        self._connection = self._pool.acquire(block=True)
+        self._connection = self._pool.acquire(
+            block=True, timeout=self._timeout, abort=self._abort
+        )
         return self._connection
 
     def __exit__(self, *exc_info: object) -> None:

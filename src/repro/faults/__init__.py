@@ -16,14 +16,15 @@ reproducible:
   and the connection pool.
 * The exception hierarchy (:class:`TransientDBError`,
   :class:`ConnectionDroppedError`, :class:`RetryGiveUpError`,
-  :class:`DeadlineExceededError`) that separates retryable cloud weather
-  from real bugs.
+  :class:`RetryDeadlineError`) that separates retryable cloud weather
+  from real bugs — defined in :mod:`repro.errors` and aliased here.
 """
 
 from .errors import (
     ConnectionDroppedError,
     DeadlineExceededError,
     FaultError,
+    RetryDeadlineError,
     RetryGiveUpError,
     TransientDBError,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "TransientDBError",
     "ConnectionDroppedError",
     "RetryGiveUpError",
+    "RetryDeadlineError",
     "DeadlineExceededError",
     "RetryPolicy",
     "FaultRule",

@@ -1,7 +1,10 @@
-"""Fault and retry exception hierarchy.
+"""Fault and retry exception hierarchy (aliases into :mod:`repro.errors`).
 
-Kept free of any ``repro`` imports so both :mod:`repro.faults.retry` and
-:mod:`repro.db.pool` can depend on it without import cycles.
+The classes themselves live in :mod:`repro.errors` — the one dependency-
+free module every subpackage may import — so that fault errors, pool
+errors and service errors share a single :class:`~repro.errors.ReproError`
+base. This module re-exports the fault-facing names so historic imports
+(``from repro.faults.errors import TransientDBError``) keep working.
 
 ``FaultError`` subclasses model the *transient* failure modes of a cloud
 database reached over a VPC (the paper's ECS <-> RDS setup): a query that
@@ -13,39 +16,20 @@ is a programming error and propagates unchanged.
 
 from __future__ import annotations
 
+from ..errors import (
+    ConnectionDroppedError,
+    DeadlineExceededError,
+    FaultError,
+    RetryDeadlineError,
+    RetryGiveUpError,
+    TransientDBError,
+)
+
 __all__ = [
     "FaultError",
     "TransientDBError",
     "ConnectionDroppedError",
     "RetryGiveUpError",
+    "RetryDeadlineError",
     "DeadlineExceededError",
 ]
-
-
-class FaultError(RuntimeError):
-    """Base class for injected (or real) transient cloud-database faults."""
-
-
-class TransientDBError(FaultError):
-    """A query failed transiently (timeout, deadlock, failover blip)."""
-
-
-class ConnectionDroppedError(FaultError):
-    """The connection died mid-operation; a reconnect is required."""
-
-
-class RetryGiveUpError(RuntimeError):
-    """All retry attempts were consumed without success.
-
-    ``last_error`` holds the final underlying failure and ``attempts`` the
-    total number of attempts made (including the first).
-    """
-
-    def __init__(self, message: str, last_error: BaseException | None = None, attempts: int = 0) -> None:
-        super().__init__(message)
-        self.last_error = last_error
-        self.attempts = attempts
-
-
-class DeadlineExceededError(RetryGiveUpError):
-    """The per-call deadline left no room for another retry attempt."""

@@ -145,6 +145,34 @@ class Tracer:
             return NULL_SPAN
         return Span(self, name, attributes)
 
+    def interval(
+        self,
+        name: str,
+        started: float,
+        ended: float,
+        parent: "Span | None" = None,
+        **attributes: Any,
+    ) -> Span | _NullSpan:
+        """Record an already-finished interval without entering a context.
+
+        ``Span.__exit__`` resets a :mod:`contextvars` token and therefore
+        must run in the same context that entered the span. Long-lived
+        intervals that start on one thread and end on another (a service
+        job spanning queue wait plus execution, say) cannot use that
+        protocol; they measure ``time.perf_counter()`` themselves and
+        record the result here. ``parent`` links the interval explicitly
+        since there is no enclosing context to inherit from.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(self, name, attributes)
+        span.parent_id = parent.span_id if parent is not None else None
+        span.thread = threading.current_thread().name
+        span.start = started
+        span.end = ended
+        self._record(span)
+        return span
+
     def _record(self, span: Span) -> None:
         with self._lock:
             self._finished.append(span)

@@ -1,0 +1,89 @@
+"""Configuration of the multi-tenant detection service.
+
+Two frozen dataclasses in the style of :mod:`repro.core.config`:
+
+* :class:`TenantQuota` — a token-bucket quota in units of *tables*
+  (the unit of admission cost: a 500-table job spends 500 tokens).
+* :class:`ServiceConfig` — service-wide knobs: the job-queue bound,
+  per-tenant quotas, connection-pool sizing, deadlines and the dispatch
+  loop's idle wakeup period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+__all__ = ["TenantQuota", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Token-bucket quota for one tenant, denominated in tables.
+
+    ``rate_tables_per_s`` is the sustained refill rate;
+    ``burst_tables`` the bucket capacity. A job whose table count
+    exceeds ``burst_tables`` can *never* be admitted for that tenant
+    (the bucket cannot hold enough tokens), which is reported as a
+    quota rejection with no retry hint.
+    """
+
+    rate_tables_per_s: float = 50.0
+    burst_tables: int = 200
+
+    def __post_init__(self) -> None:
+        if self.rate_tables_per_s <= 0:
+            raise ValueError("rate_tables_per_s must be positive")
+        if self.burst_tables < 1:
+            raise ValueError("burst_tables must be at least 1")
+
+    def replace(self, **changes: Any) -> "TenantQuota":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Behavioural knobs of :class:`~repro.serve.DetectionService`.
+
+    ``max_queue_depth`` bounds how many jobs may be queued or running at
+    once — the (N+1)-th submission is shed with
+    :class:`~repro.errors.Overloaded` (``reason="queue"``) instead of
+    queuing unboundedly. ``quotas`` maps tenant name to
+    :class:`TenantQuota`; tenants not listed get ``default_quota``.
+    ``pool_size``/``acquire_timeout`` size the per-server connection
+    pools (an acquire additionally never waits past the job's deadline).
+    ``default_deadline`` (seconds from submit) and ``default_priority``
+    apply when ``submit()`` leaves them unset. ``dispatch_wait_timeout``
+    is the idle-wakeup period of the dispatch loop — it bounds how stale
+    a deadline check can get when no other event wakes the scheduler.
+    ``clock`` (monotonic seconds) is injectable for deterministic quota
+    tests.
+    """
+
+    max_queue_depth: int = 32
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: Mapping[str, TenantQuota] = field(default_factory=dict)
+    pool_size: int = 4
+    acquire_timeout: float = 30.0
+    default_priority: int = 0
+    default_deadline: float | None = None
+    dispatch_wait_timeout: float = 0.1
+    clock: Callable[[], float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        if self.acquire_timeout <= 0:
+            raise ValueError("acquire_timeout must be positive")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError("default_deadline must be positive when set")
+        if self.dispatch_wait_timeout <= 0:
+            raise ValueError("dispatch_wait_timeout must be positive")
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def replace(self, **changes: Any) -> "ServiceConfig":
+        return replace(self, **changes)

@@ -392,6 +392,44 @@ def test_rpr401_quiet_without_db_call(tmp_path):
     assert findings == []
 
 
+def test_rpr403_legacy_detector_kwargs(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def build(model, featurizer):\n"
+        "    return TasteDetector(model, featurizer, pipelined=False, metrics=None)\n",
+    )
+    assert _rules_hit(findings) == {"RPR403"}
+    assert "pipelined" in findings[0].message
+    assert "RuntimeConfig" in findings[0].message
+
+
+def test_rpr403_attribute_callee_flagged(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def build(core, model, featurizer):\n"
+        "    return core.TasteDetector(model, featurizer, scan_method='sample')\n",
+    )
+    assert _rules_hit(findings) == {"RPR403"}
+
+
+def test_rpr403_quiet_on_config_style(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def build(model, featurizer, config, runtime):\n"
+        "    return TasteDetector(model, featurizer, config=config, runtime=runtime)\n",
+    )
+    assert findings == []
+
+
+def test_rpr403_quiet_on_other_callables(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "def build(factory):\n"
+        "    return factory(pipelined=False, metrics=None)\n",
+    )
+    assert findings == []
+
+
 # ----------------------------------------------------------------------
 # RPR5xx — inference throughput
 # ----------------------------------------------------------------------

@@ -9,6 +9,7 @@ import pytest
 
 from repro.datagen import TableGenConfig, generate_table
 from repro.db import CloudDatabaseServer, ConnectionPool, CostModel, PoolExhaustedError
+from repro.errors import Cancelled
 from repro.faults import RetryPolicy, TransientDBError
 from repro.obs import MetricsRegistry
 
@@ -160,6 +161,50 @@ class TestDeadlinesAndMetrics:
         assert not waiter.is_alive()
         # The wait honoured roughly one timeout, not one per wakeup.
         assert timeout <= outcome["elapsed"] < timeout + 0.5
+
+    def test_abort_probe_cancels_before_waiting(self, server):
+        pool = ConnectionPool(server, max_size=1)
+        pool.acquire()
+        with pytest.raises(Cancelled):
+            pool.acquire(block=True, timeout=5.0, abort=lambda: True)
+
+    def test_acquire_under_cancellation_wakes_promptly(self, server):
+        """Regression: a blocked acquire whose abort probe flips must be
+        woken by ``wake_waiters()`` immediately — not when the timeout
+        expires or the next release happens to notify the condition."""
+        pool = ConnectionPool(server, max_size=1)
+        pool.acquire()  # exhaust the pool; nothing will be released
+        cancelled = threading.Event()
+        outcome: dict[str, object] = {}
+
+        def blocked_acquire():
+            started = time.monotonic()
+            try:
+                pool.acquire(block=True, timeout=30.0, abort=cancelled.is_set)
+            except Cancelled as error:
+                outcome["error"] = error
+                outcome["elapsed"] = time.monotonic() - started
+
+        waiter = threading.Thread(target=blocked_acquire)
+        waiter.start()
+        time.sleep(0.05)  # let the waiter reach condition.wait
+        cancelled.set()
+        pool.wake_waiters()
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert isinstance(outcome["error"], Cancelled)
+        # Woken by the canceller, far inside the 30 s acquire timeout.
+        assert outcome["elapsed"] < 5.0
+
+    def test_cancelled_acquire_takes_nothing_even_when_available(self, server):
+        """Cancellation wins over availability: a flipped probe refuses
+        the acquire before the fast path can hand a connection out, so a
+        cancelled job never takes (and then leaks) pool capacity."""
+        pool = ConnectionPool(server, max_size=1)
+        with pytest.raises(Cancelled):
+            pool.acquire(block=True, abort=lambda: True)
+        # The refusal consumed nothing: the slot is still available.
+        assert pool.acquire(block=False).list_tables()
 
     def test_connect_retry_policy_counts_retries(self, server):
         metrics = MetricsRegistry()

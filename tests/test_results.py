@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
+import pytest
 
 from repro.core import ColumnPrediction, DetectionReport, TableResult
+from repro.core.results import SCHEMA_VERSION
 
 
 def prediction(table: str, column: str, phase: int, types=None) -> ColumnPrediction:
@@ -52,3 +56,75 @@ class TestDetectionReport:
         labels = self.make_report().predicted_labels()
         assert labels[("t1", "a")] == ["x"]
         assert labels[("t1", "b")] == []
+
+
+class TestSerialization:
+    def make_prediction(self):
+        return ColumnPrediction(
+            table_name="t",
+            column_name="c",
+            admitted_types=["email"],
+            phase=2,
+            probabilities=np.array([0.1, 0.7, 0.2], dtype=np.float32),
+            degraded=True,
+        )
+
+    def test_prediction_round_trip_is_bitwise(self):
+        original = self.make_prediction()
+        restored = ColumnPrediction.from_dict(original.to_dict())
+        assert restored.table_name == original.table_name
+        assert restored.admitted_types == original.admitted_types
+        assert restored.phase == original.phase
+        assert restored.degraded is True
+        assert restored.probabilities.dtype == np.float32
+        assert np.array_equal(restored.probabilities, original.probabilities)
+
+    def test_report_round_trip_through_json(self):
+        table = TableResult(
+            "t",
+            predictions=[self.make_prediction()],
+            retries=2,
+            degraded=True,
+        )
+        report = DetectionReport(
+            tables=[table],
+            wall_seconds=1.5,
+            cost={"metadata_requests": 1},
+            retries=2,
+            giveups=1,
+            faults_injected=3,
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        restored = DetectionReport.from_dict(payload)
+        assert restored.wall_seconds == report.wall_seconds
+        assert restored.retries == 2
+        assert restored.giveups == 1
+        assert restored.faults_injected == 3
+        assert restored.tables[0].retries == 2
+        assert restored.tables[0].degraded is True
+        assert np.array_equal(
+            restored.predictions[0].probabilities,
+            report.predictions[0].probabilities,
+        )
+
+    def test_payload_carries_schema_version(self):
+        payload = self.make_prediction().to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_version_mismatch_rejected(self):
+        for cls, payload in (
+            (ColumnPrediction, self.make_prediction().to_dict()),
+            (
+                TableResult,
+                TableResult("t", predictions=[self.make_prediction()]).to_dict(),
+            ),
+            (
+                DetectionReport,
+                DetectionReport(
+                    tables=[], wall_seconds=0.0, cost={}
+                ).to_dict(),
+            ),
+        ):
+            payload["schema_version"] = SCHEMA_VERSION + 1
+            with pytest.raises(ValueError, match="schema_version"):
+                cls.from_dict(payload)
