@@ -1,0 +1,207 @@
+"""Perf gate: compiled inference plans vs eager no-grad forwards.
+
+Replays the paper's Fig. 4 S2 regime — wide cloud tables split into many
+small chunks — through ``run_grouped`` twice per trial: once eager (no
+plan cache attached) and once through ``repro.nn.compile`` plans, with
+identical requests. Results go to ``BENCH_compile.json`` at the repo
+root (atomic write; CI uploads it as an artifact).
+
+The gate is **capability**: the compiled path must beat the eager
+no-grad path by >= 1.25x in at least one of the interleaved trials
+(best-of-N guards against transient load penalizing one arm). The
+workload runs batch-of-1 forwards on purpose: that is where the
+trace-once/replay-many design pays — per-forward Tensor/autograd object
+churn and fresh allocations dominate small chunks, while big coalesced
+batches are GEMM-bound either way (the batching gate next door covers
+those). Predictions must be bitwise identical between the two arms; a
+perf win that changes results is a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import ADTDConfig, ADTDModel
+from repro.datagen import TableGenConfig, default_registry, generate_table
+from repro.features import (
+    FeatureConfig,
+    Featurizer,
+    corpus_texts,
+    first_non_empty,
+    offline_metadata,
+    split_metadata,
+)
+from repro.nn import compile as nn_compile
+from repro.obs import MetricsRegistry
+from repro.sched import Phase1Request, Phase2Request, bucket_width, run_grouped
+from repro.text import Tokenizer
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_compile.json"
+
+NUM_TABLES = 32
+TRIALS = 5
+MIN_SPEEDUP = 1.25  # capability gate, best trial
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Chunked Phase-1 + Phase-2 requests over a wide-table corpus.
+
+    Chunking mirrors the detector's split pipeline (``split_metadata``
+    at the featurizer's ``column_split_threshold``), so request widths
+    land on the same bucket ladder the plan cache is keyed by.
+    """
+    registry = default_registry()
+    rng = np.random.default_rng(0)
+    table_config = TableGenConfig(
+        min_columns=24,
+        max_columns=48,
+        min_rows=20,
+        max_rows=30,
+        ambiguous_name_prob=0.9,
+        comment_prob=0.15,
+    )
+    tables = [
+        generate_table(registry, table_config, rng, table_id=index)
+        for index in range(NUM_TABLES)
+    ]
+    tokenizer = Tokenizer.train(corpus_texts(tables), max_size=1500)
+    featurizer = Featurizer(
+        tokenizer, registry, FeatureConfig(column_split_threshold=4)
+    )
+    encoder = nn.EncoderConfig(
+        num_layers=2,
+        num_heads=2,
+        hidden_size=32,
+        intermediate_size=64,
+        max_seq_len=512,
+        vocab_size=len(tokenizer),
+        dropout_p=0.0,
+    )
+    model = ADTDModel(
+        ADTDConfig(encoder, num_labels=registry.num_labels), seed=0
+    )
+    model.eval()
+
+    def width(length):
+        return bucket_width(length, 16, cap=encoder.max_seq_len)
+
+    requests = []
+    for table in tables:
+        metadata = offline_metadata(
+            table, with_histogram=featurizer.config.use_histogram
+        )
+        offset = 0
+        for chunk in split_metadata(
+            metadata, featurizer.config.column_split_threshold
+        ):
+            num_columns = len(chunk.columns)
+            meta_encoded = featurizer.encode(chunk)
+            requests.append(
+                Phase1Request(
+                    encoded=meta_encoded,
+                    meta_width=width(len(meta_encoded.meta.token_ids)),
+                )
+            )
+            content = {
+                local: first_non_empty(
+                    table.columns[offset + local].values[
+                        : featurizer.config.scan_rows
+                    ],
+                    featurizer.config.cells_per_column,
+                )
+                for local in range(num_columns)
+            }
+            full_encoded = featurizer.encode(chunk, content)
+            requests.append(
+                Phase2Request(
+                    encoded=full_encoded,
+                    meta_width=width(len(full_encoded.meta.token_ids)),
+                    content_width=width(len(full_encoded.content.token_ids)),
+                )
+            )
+            offset += num_columns
+    return model, requests, encoder.max_seq_len
+
+
+def _write_result_atomic(path: Path, payload: dict) -> None:
+    """Publish a result file atomically (temp file + ``os.replace``)."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _run(model, requests, compiled, width_cap):
+    """Time one full pass of batch-of-1 forwards in the requested mode."""
+    if compiled:
+        nn_compile.enable(model, metrics=MetricsRegistry(), width_cap=width_cap)
+    else:
+        nn_compile.disable(model)
+    started = time.perf_counter()
+    results = run_grouped(model, requests, coalesce=False)
+    return time.perf_counter() - started, results
+
+
+def test_compile_throughput(workload):
+    model, requests, width_cap = workload
+    num_columns = sum(request.num_columns for request in requests)
+    try:
+        # Warm up both arms — the compiled pass builds and verifies every
+        # plan on the ladder, so the timed trials measure pure replay.
+        _, reference = _run(model, requests, False, width_cap)
+        _, compiled = _run(model, requests, True, width_cap)
+        assert all(
+            ref.probs.tobytes() == got.probs.tobytes()
+            for ref, got in zip(reference, compiled)
+        ), "compiled predictions diverged from eager — the perf win is void"
+
+        pairs = []
+        for _ in range(TRIALS):
+            eager_seconds, _ = _run(model, requests, False, width_cap)
+            compiled_seconds, _ = _run(model, requests, True, width_cap)
+            pairs.append((eager_seconds, compiled_seconds))
+    finally:
+        nn_compile.disable(model)
+
+    best_eager = min(eager for eager, _ in pairs)
+    best_compiled = min(comp for _, comp in pairs)
+    best_speedup = max(eager / comp for eager, comp in pairs)
+    result = {
+        "num_tables": NUM_TABLES,
+        "num_requests": len(requests),
+        "num_columns": num_columns,
+        "trials": TRIALS,
+        "eager_cols_per_sec": round(num_columns / best_eager, 1),
+        "compiled_cols_per_sec": round(num_columns / best_compiled, 1),
+        "best_speedup": round(best_speedup, 3),
+        "pairs": [
+            {"eager_seconds": round(eager, 4), "compiled_seconds": round(comp, 4)}
+            for eager, comp in pairs
+        ],
+    }
+    _write_result_atomic(RESULT_PATH, result)
+
+    assert best_speedup >= MIN_SPEEDUP, (
+        f"compiled speedup {best_speedup:.2f}x never reached "
+        f"{MIN_SPEEDUP:.2f}x across {TRIALS} trials: {result['pairs']}"
+    )

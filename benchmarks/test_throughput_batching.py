@@ -21,6 +21,8 @@ that changes results is a bug, not a win.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -32,6 +34,7 @@ from repro.core import (
     ADTDConfig,
     ADTDModel,
     BatchingConfig,
+    CompileConfig,
     DetectorConfig,
     TasteDetector,
     ThresholdPolicy,
@@ -86,7 +89,29 @@ def workload():
     return tables, featurizer, model
 
 
-def _run(tables, featurizer, model, batching_enabled):
+def _write_result_atomic(path: Path, payload: dict) -> None:
+    """Publish a result file atomically (temp file + ``os.replace``).
+
+    CI consumers read these JSON artifacts while the suite may still be
+    running; a plain ``write_text`` can expose a torn, half-written file.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _run(tables, featurizer, model, batching_enabled, compiled=False):
     server = CloudDatabaseServer.from_tables(tables, CostModel(time_scale=0.0))
     detector = TasteDetector(
         model,
@@ -97,6 +122,7 @@ def _run(tables, featurizer, model, batching_enabled):
             prep_workers=6,
             infer_workers=4,
             batching=BatchingConfig(enabled=batching_enabled),
+            compile=CompileConfig(enabled=compiled),
         ),
     )
     started = time.perf_counter()
@@ -121,13 +147,22 @@ def test_throughput_batching(workload):
     assert _prediction_bytes(warm_on) == _prediction_bytes(warm_off), (
         "batched and unbatched predictions diverged — the perf win is void"
     )
+    # The compiled variant rides along for the record (gated separately in
+    # test_compile_throughput.py) but must agree bitwise here too.
+    _, warm_compiled = _run(tables, featurizer, model, True, compiled=True)
+    assert _prediction_bytes(warm_compiled) == _prediction_bytes(warm_on), (
+        "compiled predictions diverged from eager — the perf win is void"
+    )
     num_columns = warm_on.num_columns
 
     pairs = []
+    compiled_seconds = []
     for _ in range(TRIALS):
         on_seconds, _ = _run(tables, featurizer, model, True)
         off_seconds, _ = _run(tables, featurizer, model, False)
+        comp_seconds, _ = _run(tables, featurizer, model, True, compiled=True)
         pairs.append((on_seconds, off_seconds))
+        compiled_seconds.append(comp_seconds)
 
     best_on = min(on for on, _ in pairs)
     best_off = min(off for _, off in pairs)
@@ -140,14 +175,16 @@ def test_throughput_batching(workload):
         "trials": TRIALS,
         "batched_cols_per_sec": round(num_columns / best_on, 1),
         "unbatched_cols_per_sec": round(num_columns / best_off, 1),
+        "compiled_cols_per_sec": round(num_columns / min(compiled_seconds), 1),
         "best_speedup": round(best_speedup, 3),
         "overall_speedup": round(total_off / total_on, 3),
         "pairs": [
             {"batched_seconds": round(on, 4), "unbatched_seconds": round(off, 4)}
             for on, off in pairs
         ],
+        "compiled_seconds": [round(s, 4) for s in compiled_seconds],
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    _write_result_atomic(RESULT_PATH, result)
 
     assert best_speedup >= MIN_SPEEDUP, (
         f"batching speedup {best_speedup:.2f}x never reached "

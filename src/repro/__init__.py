@@ -50,6 +50,7 @@ Subpackages
 from . import baselines, core, datagen, db, errors, faults, features, metrics, nn, obs, sched, serve, text
 from .core import (
     ColumnPrediction,
+    CompileConfig,
     DetectionReport,
     DetectOptions,
     DetectorConfig,
@@ -65,6 +66,7 @@ __all__ = [
     # canonical API
     "TasteDetector",
     "DetectorConfig",
+    "CompileConfig",
     "RuntimeConfig",
     "DetectOptions",
     "DetectionService",

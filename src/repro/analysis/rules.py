@@ -628,6 +628,76 @@ class SingleItemCollateInLoop(Rule):
                 )
 
 
+@register
+class FreshAllocationInNoGradLoop(Rule):
+    id = "RPR502"
+    name = "nn-fresh-allocation-in-no-grad-loop"
+    description = (
+        "np.zeros/np.empty/np.concatenate allocated inside a loop on a "
+        "repro.nn no-grad path; hoist the buffer or use a workspace arena "
+        "with out= kernels (repro.nn.compile)"
+    )
+
+    _ALLOCATORS = ("zeros", "empty", "concatenate")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/nn/" in ctx.rel.replace("\\", "/")
+
+    def _in_no_grad_branch(self, node: ast.AST, function: ast.AST | None) -> bool:
+        """Inside an ``if`` arm that only runs when grad is disabled."""
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, ast.If) and "is_grad_enabled" in ast.unparse(
+                ancestor.test
+            ):
+                negated = isinstance(ancestor.test, ast.UnaryOp) and isinstance(
+                    ancestor.test.op, ast.Not
+                )
+                arm = ancestor.body if negated else ancestor.orelse
+                if any(node in ast.walk(stmt) for stmt in arm):
+                    return True
+            if ancestor is function:
+                break
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # The compiled-replay engine is *all* no-grad hot path: every
+        # fresh allocation there belongs in the plan's arena.
+        whole_file = ctx.rel.replace("\\", "/").endswith("repro/nn/compile.py")
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._ALLOCATORS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "np"
+            ):
+                continue
+            function = _enclosing_function(node)
+            in_loop = False
+            for ancestor in ancestors(node):
+                if isinstance(ancestor, (ast.For, ast.While, ast.AsyncFor)):
+                    in_loop = True
+                    break
+                if ancestor is function:
+                    break
+            if not in_loop:
+                continue
+            if not (
+                whole_file
+                or (function is not None and _under_no_grad(node, function))
+                or self._in_no_grad_branch(node, function)
+            ):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"np.{node.func.attr}(...) inside a loop on a no-grad path "
+                "allocates a fresh buffer every iteration; hoist it out of "
+                "the loop or reuse a workspace-arena buffer through the "
+                "out=-capable kernels",
+            )
+
+
 def rule_catalogue() -> list[tuple[str, str, str]]:
     """``(id, name, description)`` for every registered rule (for docs/CLI)."""
     from .lint import registered_rules

@@ -2,7 +2,7 @@
 
 from .adtd import ADTDConfig, ADTDModel, gather_positions
 from .classifier import ClassifierHead
-from .config import BatchingConfig, DetectOptions, DetectorConfig, RuntimeConfig
+from .config import BatchingConfig, CompileConfig, DetectOptions, DetectorConfig, RuntimeConfig
 from .detector import TasteDetector
 from .extension import (
     ExtensionResult,
@@ -26,6 +26,7 @@ __all__ = [
     "ClassifierHead",
     "TasteDetector",
     "BatchingConfig",
+    "CompileConfig",
     "DetectorConfig",
     "RuntimeConfig",
     "DetectOptions",

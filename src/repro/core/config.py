@@ -25,13 +25,20 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..faults.retry import RetryPolicy
+from ..nn.compile import CompileConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.plan import FaultPlan
     from ..obs.metrics import MetricsRegistry, NullMetricsRegistry
     from ..obs.trace import Tracer
 
-__all__ = ["BatchingConfig", "DetectorConfig", "RuntimeConfig", "DetectOptions"]
+__all__ = [
+    "BatchingConfig",
+    "CompileConfig",
+    "DetectorConfig",
+    "RuntimeConfig",
+    "DetectOptions",
+]
 
 _SCAN_METHODS = ("first", "sample")
 
@@ -89,6 +96,7 @@ class DetectorConfig:
     sample_seed: int = 0
     cache_capacity: int = 256
     batching: BatchingConfig = field(default_factory=BatchingConfig)
+    compile: CompileConfig = field(default_factory=CompileConfig)
 
     def __post_init__(self) -> None:
         if self.scan_method not in _SCAN_METHODS:

@@ -41,6 +41,7 @@ from ..db.server import CloudDatabaseServer
 from ..errors import LegacyAPIError, RetryGiveUpError
 from ..faults.plan import FaultInjector
 from ..features.encoding import Featurizer
+from ..nn import compile as nn_compile
 from ..obs import Tracer, write_spans_jsonl
 from ..obs.metrics import MetricsRegistry, NullMetricsRegistry, global_registry
 from ..sched.batcher import InferenceBatcher
@@ -128,6 +129,23 @@ class TasteDetector:
         )
         self._width_cap = model.config.encoder.max_seq_len
         self.model.eval()
+        # Shape-specialized compiled inference (repro.nn.compile): plans
+        # are keyed off the same bucket-width ladder bucketed_width()
+        # routes requests through, so every execution mode (sequential,
+        # unbatched, batched, served) hits the same plan cache. A
+        # detector configured with compile.enabled=False detaches any
+        # cache so *its* runs are guaranteed eager.
+        if self.config.compile.enabled:
+            nn_compile.enable(
+                model,
+                self.config.compile,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                pad_quantum=self.config.batching.pad_quantum,
+                width_cap=self._width_cap,
+            )
+        else:
+            nn_compile.disable(model)
 
     # ------------------------------------------------------------------
     # Read-only views kept for callers that inspected the old attributes.

@@ -310,8 +310,17 @@ def collate(
         [np.ones(len(t.content.token_ids), dtype=np.int64) for t in tables], 0, content_width
     ).astype(bool)
 
-    col_positions = _pad_stack([t.meta.col_positions for t in tables], -1)
-    val_positions = _pad_stack([t.content.val_positions for t in tables], -1)
+    # Pad the column axis to >= 2 so the per-column matmuls downstream
+    # (pooling, classifier heads) never run a single-row BLAS call: the
+    # M=1 GEMV kernel accumulates in a different order than the M>=2 GEMM
+    # kernels, so a one-column chunk would produce last-bit-different
+    # logits depending on whether it rode alone or coalesced with wider
+    # chunks. GEMM results are row-stable for every M >= 2, so a phantom
+    # masked column (zero pooling row, zero numeric features) makes
+    # batched, unbatched and compiled paths bitwise identical again.
+    max_cols = max(max(t.num_columns for t in tables), 2)
+    col_positions = _pad_stack([t.meta.col_positions for t in tables], -1, max_cols)
+    val_positions = _pad_stack([t.content.val_positions for t in tables], -1, max_cols)
     column_mask = col_positions >= 0
 
     num_cols = col_positions.shape[1]

@@ -1,0 +1,828 @@
+"""Shape-specialized compiled inference for the ADTD no-grad hot path.
+
+The detector's S2 stage is pure model compute, and the geometric
+bucket-width ladder (:func:`repro.sched.bucket_width`) makes inference
+shapes repeat constantly — so the eager forward's per-op Python dispatch,
+Tensor wrapping and fresh numpy allocations are paid again and again for
+identical shapes. This module trades that overhead for a
+**trace-once/replay-many** scheme:
+
+* A :class:`CompiledPlan` is built per ``(phase, bucket-width)`` key by
+  walking the model structure once, prefetching every weight the forward
+  touches. Replays are straight-line numpy — zero ``Tensor``/autograd
+  objects on the hot path.
+* Each plan owns a **workspace arena**: named, growable buffers reused
+  across replays, written through the shared ``out=`` kernels in
+  :mod:`repro.nn.functional` (``softmax_`` reusing the attention-score
+  buffer, fused residual+``layer_norm_``, fused bias+``gelu_``).
+* **Fused weight layouts**: the per-layer Q/K/V projections are
+  concatenated into one ``(H, 3H)`` GEMM at build time, and the
+  asymmetric cross-attention's K/V pair into one ``(H, 2H)`` GEMM whose
+  input buffer is fed directly from latent-cache slices.
+
+Bitwise safety
+--------------
+Compiled replays must be bitwise identical to the eager no-grad forward
+(the invariant batched/unbatched/sequential runs already hold). Two
+mechanisms guarantee it:
+
+1. Replays call the *same* raw-ndarray kernels the eager no-grad fast
+   paths call (``softmax_``/``layer_norm_``/``gelu_``/``relu_``), and
+   every remaining op is the identical ufunc/GEMM on identical operand
+   values — only the output buffer bookkeeping differs.
+2. The first replay of each plan (and of each phase-2 latent mode) is
+   **verified at build time** against the eager forward on the triggering
+   batch. The one residual risk is the fused QKV/KV GEMM: BLAS kernels
+   reduce over ``K`` sequentially regardless of the output width, but if
+   a platform's blocking ever disagrees, verification catches it, the
+   plan rebuilds unfused, and a second mismatch kills the plan (permanent
+   eager fallback, counted under ``nn.compile.fallbacks{reason=verify}``).
+
+Plans are looked up via a module-level weak registry (never stored on the
+model, so models stay picklable/deep-copyable) and are keyed off the same
+width ladder the batcher uses; off-ladder widths, busy plans (another
+thread mid-replay), arena-budget overruns and dead plans all fall back to
+the eager forward — safe, because eager and compiled agree bitwise.
+
+Weights are prefetched by reference (and by *copy* for the fused
+layouts), so any weight mutation — fine-tuning, feedback, checkpoint
+loads — must call :func:`invalidate`, which the training entry points do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from ..obs.metrics import global_registry
+from .functional import additive_attention_mask, gelu_, layer_norm_, relu_, softmax_
+from .tensor import Tensor, no_grad
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..features.encoding import Batch
+    from ..obs.trace import Tracer
+
+__all__ = [
+    "CompileConfig",
+    "CompiledPlan",
+    "PlanCache",
+    "enable",
+    "disable",
+    "invalidate",
+    "plan_cache",
+    "weight_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Knobs of the inference compiler (``DetectorConfig.compile``).
+
+    ``max_plans`` bounds how many ``(phase, width)`` plans stay cached
+    (LRU-evicted beyond that); ``arena_bytes_limit`` bounds the summed
+    workspace-arena bytes across all live plans — a replay whose buffers
+    would exceed it falls back to the eager forward for that batch.
+    """
+
+    enabled: bool = True
+    max_plans: int = 32
+    arena_bytes_limit: int = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_plans < 1:
+            raise ValueError("max_plans must be at least 1")
+        if self.arena_bytes_limit < 1:
+            raise ValueError("arena_bytes_limit must be at least 1 byte")
+
+    def replace(self, **changes: Any) -> "CompileConfig":
+        """A modified copy (re-validated)."""
+        return replace(self, **changes)
+
+
+class ArenaLimitError(RuntimeError):
+    """A replay's workspace demand exceeded ``arena_bytes_limit``."""
+
+
+class _ArenaBudget:
+    """Byte budget shared by every arena of one plan cache."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+        self._lock = threading.Lock()
+
+    def reserve(self, delta: int) -> None:
+        with self._lock:
+            if delta > 0 and self.used + delta > self.limit:
+                raise ArenaLimitError(
+                    f"workspace arenas would use {self.used + delta} bytes, "
+                    f"over the {self.limit}-byte limit"
+                )
+            self.used += delta
+
+    def release(self, nbytes: int) -> None:
+        with self._lock:
+            self.used -= nbytes
+
+
+class Arena:
+    """Named, growable workspace buffers backing one plan's replays.
+
+    ``buf(name, shape)`` returns a contiguous view of a flat backing
+    array, re-used across replays; the backing only reallocates when a
+    replay needs more elements than any previous one (batch size and
+    column count vary under a fixed width key, sequence widths do not).
+    """
+
+    def __init__(self, budget: _ArenaBudget) -> None:
+        self._slots: dict[str, np.ndarray] = {}
+        # name -> (shape, dtype, view): the last view handed out per name.
+        # A steady batch size (the common replay regime) turns every buf()
+        # call after the first into one dict hit instead of a slice+reshape.
+        # The entry always views the *current* backing: any reallocation
+        # happens inside buf(), which overwrites the entry in the same call.
+        self._views: dict[str, tuple[tuple[int, ...], np.dtype, np.ndarray]] = {}
+        self._budget = budget
+        self.bytes = 0
+
+    def buf(self, name: str, shape: tuple[int, ...], dtype: Any = np.float32) -> np.ndarray:
+        cached = self._views.get(name)
+        if cached is not None and cached[0] == shape and cached[1] == dtype:
+            return cached[2]
+        dtype = np.dtype(dtype)
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        backing = self._slots.get(name)
+        if backing is None or backing.dtype != dtype or backing.size < size:
+            nbytes = size * dtype.itemsize
+            released = backing.nbytes if backing is not None else 0
+            self._budget.reserve(nbytes - released)
+            if backing is not None:
+                del self._slots[name]
+                self.bytes -= released
+            backing = np.empty(size, dtype=dtype)
+            self._slots[name] = backing
+            self.bytes += nbytes
+        view = backing[:size].reshape(shape)
+        self._views[name] = (shape, dtype, view)
+        return view
+
+    def release(self) -> None:
+        """Drop all buffers and hand their bytes back to the budget."""
+        self._slots.clear()
+        self._views.clear()
+        self._budget.release(self.bytes)
+        self.bytes = 0
+
+
+class _LayerWeights:
+    """Prefetched per-block weights, plus the fused QKV/KV layouts.
+
+    Unfused entries are *references* to the live parameter arrays; the
+    fused concatenations are copies made at build time (stale weights are
+    handled by :func:`invalidate`, not by re-checking here).
+    """
+
+    __slots__ = (
+        "wq", "bq", "wk", "bk", "wv", "bv",
+        "w_qkv", "b_qkv", "w_kv", "b_kv",
+        "wo", "bo", "ln1_w", "ln1_b", "ln1_eps",
+        "w1", "b1", "w2", "b2", "ln2_w", "ln2_b", "ln2_eps",
+    )
+
+    def __init__(self, block: Any) -> None:
+        attention = block.attention
+        self.wq = attention.query_proj.weight.data
+        self.bq = attention.query_proj.bias.data
+        self.wk = attention.key_proj.weight.data
+        self.bk = attention.key_proj.bias.data
+        self.wv = attention.value_proj.weight.data
+        self.bv = attention.value_proj.bias.data
+        self.w_qkv = np.concatenate([self.wq, self.wk, self.wv], axis=1)
+        self.b_qkv = np.concatenate([self.bq, self.bk, self.bv])
+        self.w_kv = np.concatenate([self.wk, self.wv], axis=1)
+        self.b_kv = np.concatenate([self.bk, self.bv])
+        self.wo = attention.output_proj.weight.data
+        self.bo = attention.output_proj.bias.data
+        self.ln1_w = block.attention_norm.weight.data
+        self.ln1_b = block.attention_norm.bias.data
+        self.ln1_eps = block.attention_norm.eps
+        self.w1 = block.ffn_in.weight.data
+        self.b1 = block.ffn_in.bias.data
+        self.w2 = block.ffn_out.weight.data
+        self.b2 = block.ffn_out.bias.data
+        self.ln2_w = block.ffn_norm.weight.data
+        self.ln2_b = block.ffn_norm.bias.data
+        self.ln2_eps = block.ffn_norm.eps
+
+
+class CompiledPlan:
+    """One shape-specialized replay program plus its workspace arena.
+
+    All replay entry points assume the caller holds :attr:`lock` — the
+    arena's buffers are shared mutable state across replays.
+    """
+
+    def __init__(self, key: tuple, cache: "PlanCache") -> None:
+        self.key = key
+        self.phase = key[0]
+        self.meta_width = key[1]
+        self.content_width = key[2] if len(key) > 2 else None
+        self.lock = threading.Lock()
+        self.arena = Arena(cache._budget)
+        self.fused = True
+        self.dead = False
+        self.replays = 0
+        self._cache = cache
+        self._built = False
+        self._verified: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Build: structural trace + weight prefetch
+    # ------------------------------------------------------------------
+    def _build(self, model: Any) -> None:
+        encoder_config = model.config.encoder
+        self.hidden = encoder_config.hidden_size
+        self.heads = encoder_config.num_heads
+        self.head_dim = self.hidden // self.heads
+        self.intermediate = encoder_config.intermediate_size
+        # Matches the eager `* (1.0 / np.sqrt(head_dim))`: Tensor coerces
+        # the float64 scalar to float32 before multiplying, so do we.
+        self.scale = np.asarray(1.0 / np.sqrt(self.head_dim), dtype=np.float32)
+        self.max_column_id = model.config.max_column_id
+        self.token_w = model.token_embedding.weight.data
+        self.position_w = model.position_embedding.weight.data
+        self.segment_w = model.segment_embedding.weight.data
+        self.column_w = model.column_embedding.weight.data
+        self.emb_ln_w = model.embedding_norm.weight.data
+        self.emb_ln_b = model.embedding_norm.bias.data
+        self.emb_ln_eps = model.embedding_norm.eps
+        self.layers = [_LayerWeights(block) for block in model.encoder.blocks]
+        self.meta_w1 = model.meta_classifier.hidden.weight.data
+        self.meta_b1 = model.meta_classifier.hidden.bias.data
+        self.meta_w2 = model.meta_classifier.output.weight.data
+        self.meta_b2 = model.meta_classifier.output.bias.data
+        self.content_w1 = model.content_classifier.hidden.weight.data
+        self.content_b1 = model.content_classifier.hidden.bias.data
+        self.content_w2 = model.content_classifier.output.weight.data
+        self.content_b2 = model.content_classifier.output.bias.data
+        self._built = True
+
+    # ------------------------------------------------------------------
+    # Replay kernels (caller holds self.lock)
+    # ------------------------------------------------------------------
+    def _embed(self, ids: np.ndarray, segments: np.ndarray, column_ids: np.ndarray, name: str) -> np.ndarray:
+        batch_size, seq = ids.shape
+        arena = self.arena
+        out = arena.buf(name, (batch_size, seq, self.hidden))
+        scratch = arena.buf("embed_scratch", (batch_size, seq, self.hidden))
+        np.take(self.token_w, ids, axis=0, out=out)
+        # position ids are row-constant, so adding the (seq, H) table
+        # broadcast is elementwise-identical to the eager (B, seq, H) gather.
+        out += self.position_w[:seq]
+        np.take(self.segment_w, segments, axis=0, out=scratch)
+        out += scratch
+        clamped = arena.buf("embed_col_ids", (batch_size, seq), dtype=column_ids.dtype)
+        np.minimum(column_ids, self.max_column_id - 1, out=clamped)
+        np.take(self.column_w, clamped, axis=0, out=scratch)
+        out += scratch
+        layer_norm_(out, self.emb_ln_w, self.emb_ln_b, self.emb_ln_eps, out=out, scratch=scratch)
+        return out
+
+    def _attention_block(
+        self,
+        weights: _LayerWeights,
+        query: np.ndarray,
+        kv_input: np.ndarray,
+        mask: np.ndarray,
+        out: np.ndarray,
+        prefix: str,
+    ) -> np.ndarray:
+        """One transformer block as straight-line numpy into ``out``.
+
+        ``kv_input is query`` is the self-attention (metadata tower) form,
+        fused into one QKV GEMM; otherwise the asymmetric cross-attention
+        form, with K/V fused into one GEMM over the joint sequence.
+        ``out`` may alias ``query`` — the query buffer's last read (the
+        first residual add) happens before the first write to ``out``.
+        """
+        arena = self.arena
+        batch_size, q_len, hidden = query.shape
+        kv_len = kv_input.shape[1]
+        heads, head_dim = self.heads, self.head_dim
+        if self.fused:
+            if kv_input is query:
+                qkv = arena.buf(prefix + "qkv", (batch_size, q_len, 3 * hidden))
+                np.matmul(query, weights.w_qkv, out=qkv)
+                qkv += weights.b_qkv
+                split = qkv.reshape(batch_size, q_len, 3, heads, head_dim)
+                q_heads = split[:, :, 0].swapaxes(1, 2)
+                k_heads = split[:, :, 1].swapaxes(1, 2)
+                v_heads = split[:, :, 2].swapaxes(1, 2)
+            else:
+                q_proj = arena.buf(prefix + "q", (batch_size, q_len, hidden))
+                np.matmul(query, weights.wq, out=q_proj)
+                q_proj += weights.bq
+                q_heads = q_proj.reshape(batch_size, q_len, heads, head_dim).swapaxes(1, 2)
+                kv = arena.buf(prefix + "kv_proj", (batch_size, kv_len, 2 * hidden))
+                np.matmul(kv_input, weights.w_kv, out=kv)
+                kv += weights.b_kv
+                split = kv.reshape(batch_size, kv_len, 2, heads, head_dim)
+                k_heads = split[:, :, 0].swapaxes(1, 2)
+                v_heads = split[:, :, 1].swapaxes(1, 2)
+        else:
+            q_proj = arena.buf(prefix + "q", (batch_size, q_len, hidden))
+            np.matmul(query, weights.wq, out=q_proj)
+            q_proj += weights.bq
+            k_proj = arena.buf(prefix + "k", (batch_size, kv_len, hidden))
+            np.matmul(kv_input, weights.wk, out=k_proj)
+            k_proj += weights.bk
+            v_proj = arena.buf(prefix + "v", (batch_size, kv_len, hidden))
+            np.matmul(kv_input, weights.wv, out=v_proj)
+            v_proj += weights.bv
+            q_heads = q_proj.reshape(batch_size, q_len, heads, head_dim).swapaxes(1, 2)
+            k_heads = k_proj.reshape(batch_size, kv_len, heads, head_dim).swapaxes(1, 2)
+            v_heads = v_proj.reshape(batch_size, kv_len, heads, head_dim).swapaxes(1, 2)
+        scores = arena.buf(prefix + "scores", (batch_size, heads, q_len, kv_len))
+        np.matmul(q_heads, k_heads.swapaxes(2, 3), out=scores)
+        scores *= self.scale
+        scores += mask
+        softmax_(scores, out=scores)
+        context = arena.buf(prefix + "context", (batch_size, heads, q_len, head_dim))
+        np.matmul(scores, v_heads, out=context)
+        merged = arena.buf(prefix + "merged", (batch_size, q_len, hidden))
+        np.copyto(merged.reshape(batch_size, q_len, heads, head_dim), context.swapaxes(1, 2))
+        attn = arena.buf(prefix + "attn", (batch_size, q_len, hidden))
+        np.matmul(merged, weights.wo, out=attn)
+        attn += weights.bo
+        # Fused residual + layer_norm: `merged` is free again and serves
+        # as the variance scratch.
+        np.add(query, attn, out=attn)
+        layer_norm_(attn, weights.ln1_w, weights.ln1_b, weights.ln1_eps, out=attn, scratch=merged)
+        ffn = arena.buf(prefix + "ffn", (batch_size, q_len, self.intermediate))
+        np.matmul(attn, weights.w1, out=ffn)
+        ffn += weights.b1
+        # Fused bias + GELU, in place in the intermediate buffer.
+        gelu_(ffn, out=ffn, scratch=arena.buf(prefix + "ffn_scratch", (batch_size, q_len, self.intermediate)))
+        np.matmul(ffn, weights.w2, out=out)
+        out += weights.b2
+        np.add(attn, out, out=out)
+        layer_norm_(out, weights.ln2_w, weights.ln2_b, weights.ln2_eps, out=out, scratch=merged)
+        return out
+
+    def _meta_tower(self, batch: "Batch") -> list[np.ndarray]:
+        batch_size, meta_width = batch.meta_ids.shape
+        hidden = self._embed(batch.meta_ids, batch.meta_segments, batch.meta_column_ids, "meta_h0")
+        mask = additive_attention_mask(batch.meta_mask)
+        outputs = [hidden]
+        for index, weights in enumerate(self.layers):
+            out = self.arena.buf(f"meta_h{index + 1}", (batch_size, meta_width, self.hidden))
+            hidden = self._attention_block(weights, hidden, hidden, mask, out, "m_")
+            outputs.append(hidden)
+        return outputs
+
+    def _classifier(
+        self,
+        features: np.ndarray,
+        w1: np.ndarray,
+        b1: np.ndarray,
+        w2: np.ndarray,
+        b2: np.ndarray,
+        prefix: str,
+    ) -> np.ndarray:
+        arena = self.arena
+        batch_size, num_columns, _ = features.shape
+        hidden = arena.buf(prefix + "cls_hidden", (batch_size, num_columns, w1.shape[1]))
+        np.matmul(features, w1, out=hidden)
+        hidden += b1
+        relu_(
+            hidden,
+            out=hidden,
+            scratch=arena.buf(prefix + "cls_mask", (batch_size, num_columns, w1.shape[1]), dtype=np.bool_),
+        )
+        logits = arena.buf(prefix + "logits", (batch_size, num_columns, w2.shape[1]))
+        np.matmul(hidden, w2, out=logits)
+        logits += b2
+        return logits
+
+    def _pooling(self, column_ids: np.ndarray, padding_mask: np.ndarray, num_columns: int) -> np.ndarray:
+        # The exact memo the eager `_pool_columns` consults — shared keys,
+        # shared (read-only) matrices. Imported lazily: nn must not import
+        # core at module load.
+        from ..core.adtd import _POOLING_MEMO, _build_pooling
+
+        return _POOLING_MEMO.get(
+            (column_ids, padding_mask, np.asarray(num_columns)), _build_pooling
+        )
+
+    def _replay_phase1(self, batch: "Batch") -> tuple[np.ndarray, list[np.ndarray]]:
+        meta_layers = self._meta_tower(batch)
+        batch_size = batch.meta_ids.shape[0]
+        num_columns = batch.col_positions.shape[1]
+        numeric_dim = batch.numeric.shape[-1]
+        pooling = self._pooling(batch.meta_column_ids, batch.meta_mask, num_columns)
+        features = self.arena.buf("p1_features", (batch_size, num_columns, self.hidden + numeric_dim))
+        np.matmul(pooling, meta_layers[-1], out=features[..., : self.hidden])
+        features[..., self.hidden :] = batch.numeric
+        logits = self._classifier(features, self.meta_w1, self.meta_b1, self.meta_w2, self.meta_b2, "p1_")
+        return logits, meta_layers
+
+    def _replay_phase2(self, batch: "Batch", cached: "list | None") -> np.ndarray:
+        arena = self.arena
+        batch_size, meta_width = batch.meta_ids.shape
+        content_width = batch.content_ids.shape[1]
+        hidden_size, num_layers = self.hidden, len(self.layers)
+        # The cross-attention KV concatenation is precomputed into one
+        # contiguous buffer per layer: metadata latents land in [:M]
+        # (straight from latent-cache slices when available), the content
+        # stream's running hidden state in [M:].
+        kv_bufs = [
+            arena.buf(f"kv{i}", (batch_size, meta_width + content_width, hidden_size))
+            for i in range(num_layers)
+        ]
+        if cached is not None:
+            for i in range(num_layers):
+                dst = kv_bufs[i]
+                for row, encoding in enumerate(cached):
+                    dst[row, :meta_width] = encoding.layer_outputs[i][0]
+            meta_last = arena.buf("meta_last", (batch_size, meta_width, hidden_size))
+            for row, encoding in enumerate(cached):
+                meta_last[row] = encoding.layer_outputs[num_layers][0]
+        else:
+            meta_layers = self._meta_tower(batch)
+            for i in range(num_layers):
+                kv_bufs[i][:, :meta_width] = meta_layers[i]
+            meta_last = meta_layers[num_layers]
+        hidden = self._embed(
+            batch.content_ids, batch.content_segments, batch.content_column_ids, "content_h_a"
+        )
+        joint_padding = np.concatenate([batch.meta_mask, batch.content_mask], axis=1)
+        joint_mask = additive_attention_mask(joint_padding)
+        for index, weights in enumerate(self.layers):
+            kv_bufs[index][:, meta_width:] = hidden
+            out_name = "content_h_b" if index % 2 == 0 else "content_h_a"
+            out = arena.buf(out_name, (batch_size, content_width, hidden_size))
+            hidden = self._attention_block(weights, hidden, kv_bufs[index], joint_mask, out, "x_")
+        num_columns = batch.col_positions.shape[1]
+        numeric_dim = batch.numeric.shape[-1]
+        pool_meta = self._pooling(batch.meta_column_ids, batch.meta_mask, num_columns)
+        pool_content = self._pooling(batch.content_column_ids, batch.content_mask, num_columns)
+        features = arena.buf("p2_features", (batch_size, num_columns, 2 * hidden_size + numeric_dim))
+        np.matmul(pool_content, hidden, out=features[..., :hidden_size])
+        np.matmul(pool_meta, meta_last, out=features[..., hidden_size : 2 * hidden_size])
+        features[..., 2 * hidden_size :] = batch.numeric
+        return self._classifier(
+            features, self.content_w1, self.content_b1, self.content_w2, self.content_b2, "p2_"
+        )
+
+    # ------------------------------------------------------------------
+    # Eager references (build-time verification)
+    # ------------------------------------------------------------------
+    def _eager(self, model: Any, batch: "Batch", cached: "list | None") -> Any:
+        with no_grad():
+            if self.phase == 1:
+                meta_layers = model.encode_metadata(batch)
+                logits = model.meta_logits(batch, meta_layers)
+                return logits.detach().numpy(), [layer.detach().numpy() for layer in meta_layers]
+            if cached is not None:
+                num_layers = len(cached[0].layer_outputs)
+                meta_layers = [
+                    Tensor(np.concatenate([enc.layer_outputs[i] for enc in cached], axis=0))
+                    for i in range(num_layers)
+                ]
+            else:
+                meta_layers = model.encode_metadata(batch)
+            content_hidden = model.encode_content(batch, meta_layers)
+            return model.content_logits(batch, meta_layers, content_hidden).detach().numpy()
+
+    def _matches(self, outputs: Any, reference: Any) -> bool:
+        if self.phase == 1:
+            logits, layers = outputs
+            ref_logits, ref_layers = reference
+            if logits.tobytes() != ref_logits.tobytes():
+                return False
+            return all(a.tobytes() == b.tobytes() for a, b in zip(layers, ref_layers))
+        return outputs.tobytes() == reference.tobytes()
+
+    # ------------------------------------------------------------------
+    def run(self, model: Any, batch: "Batch", cached: "list | None", events: list) -> Any:
+        """Build if needed, replay, and verify first-time modes.
+
+        Returns the replay outputs (phase 1: ``(logits, layer_arrays)``,
+        phase 2: ``logits``) or ``None`` when the caller must fall back to
+        the eager forward. A verification mismatch still returns *valid*
+        outputs — the eager reference just computed — while marking the
+        plan dead. The caller holds :attr:`lock`; metric events are
+        appended to ``events`` for emission after it is released.
+        """
+        if self.dead:
+            events.append(("fallback", "dead"))
+            return None
+        if not self._built:
+            tracer = self._cache.tracer
+            span = (
+                tracer.span(
+                    "nn.compile.build",
+                    phase=self.phase,
+                    meta_width=self.meta_width,
+                    content_width=self.content_width,
+                )
+                if tracer is not None
+                else nullcontext()
+            )
+            with span:
+                self._build(model)
+            events.append(("build", self.phase))
+        mode = "meta" if self.phase == 1 else ("cached" if cached is not None else "recompute")
+        try:
+            outputs = self._replay(batch, cached)
+            if mode not in self._verified:
+                reference = self._eager(model, batch, cached)
+                if not self._matches(outputs, reference):
+                    if self.fused:
+                        # The fused-GEMM layout disagreed on this platform;
+                        # fall back to per-projection GEMMs and re-verify.
+                        self.fused = False
+                        outputs = self._replay(batch, cached)
+                    if not self._matches(outputs, reference):
+                        self.dead = True
+                        events.append(("fallback", "verify"))
+                        return reference
+                self._verified.add(mode)
+        except ArenaLimitError:
+            events.append(("fallback", "arena_limit"))
+            return None
+        self.replays += 1
+        events.append(("replay", self.phase))
+        return outputs
+
+    def _replay(self, batch: "Batch", cached: "list | None") -> Any:
+        if self.phase == 1:
+            return self._replay_phase1(batch)
+        return self._replay_phase2(batch, cached)
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledPlan` for one model.
+
+    Lock discipline: ``self._lock`` guards only the plan dict; each plan's
+    own lock guards its arena; metric emission happens strictly outside
+    both (rule RPR601 — metric registries have locks of their own).
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        config: CompileConfig,
+        metrics: Any,
+        tracer: "Tracer | None",
+        pad_quantum: int,
+        width_cap: int | None,
+        fingerprint: str,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.tracer = tracer
+        self.pad_quantum = pad_quantum
+        self.width_cap = width_cap
+        self.fingerprint = fingerprint
+        self._model_ref = weakref.ref(model)
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+        self._budget = _ArenaBudget(config.arena_bytes_limit)
+        self._build_counters = {
+            1: metrics.counter("nn.compile.builds", phase="1"),
+            2: metrics.counter("nn.compile.builds", phase="2"),
+        }
+        self._replay_counters = {
+            1: metrics.counter("nn.compile.replays", phase="1"),
+            2: metrics.counter("nn.compile.replays", phase="2"),
+        }
+        self._fallback_counters = {
+            "off_ladder": metrics.counter("nn.compile.fallbacks", reason="off_ladder"),
+            "busy": metrics.counter("nn.compile.fallbacks", reason="busy"),
+            "dead": metrics.counter("nn.compile.fallbacks", reason="dead"),
+            "arena_limit": metrics.counter("nn.compile.fallbacks", reason="arena_limit"),
+            "verify": metrics.counter("nn.compile.fallbacks", reason="verify"),
+        }
+        self._eviction_counter = metrics.counter("nn.compile.evictions")
+        self._plans_gauge = metrics.gauge("nn.compile.plans")
+        self._arena_gauge = metrics.gauge("nn.compile.arena_bytes")
+
+    # ------------------------------------------------------------------
+    def _on_ladder(self, width: int) -> bool:
+        """Whether ``width`` is a rung of the bucket-width ladder.
+
+        Mirrors :func:`repro.sched.bucket_width`'s geometric rung
+        generation (duplicated here — ``repro.sched`` imports ``repro.nn``,
+        not the reverse). Widths above the cap are the exact-length
+        escape hatch of the ladder: per-sequence unique, so compiling
+        them would churn the plan cache for single-use plans.
+        """
+        cap = self.width_cap
+        if cap is not None:
+            if width > cap:
+                return False
+            if width == cap:
+                return True
+        rung = self.pad_quantum
+        while rung < width:
+            rung = -(-(rung + rung // 2) // self.pad_quantum) * self.pad_quantum
+        return rung == width
+
+    def _lookup(self, key: tuple) -> tuple["CompiledPlan | None", str | None]:
+        evicted: list[CompiledPlan] = []
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                return plan, None
+            for width in key[1:]:
+                if not self._on_ladder(width):
+                    return None, "off_ladder"
+            while len(self._plans) >= self.config.max_plans:
+                _, old = self._plans.popitem(last=False)
+                evicted.append(old)
+            plan = CompiledPlan(key, self)
+            self._plans[key] = plan
+            size = len(self._plans)
+        for old in evicted:
+            old.dead = True
+            old.arena.release()
+        if evicted:
+            self._eviction_counter.inc(len(evicted))
+        self._plans_gauge.set(size)
+        return plan, None
+
+    def _emit(self, events: list) -> None:
+        for kind, arg in events:
+            if kind == "replay":
+                self._replay_counters[arg].inc()
+            elif kind == "build":
+                self._build_counters[arg].inc()
+            elif kind == "fallback":
+                self._fallback_counters[arg].inc()
+        if events:
+            self._arena_gauge.set(self._budget.used)
+
+    def _run_ctx(self, key: tuple, batch: "Batch", cached: "list | None") -> Iterator[Any]:
+        model = self._model_ref()
+        plan, reason = self._lookup(key) if model is not None else (None, "dead")
+        if plan is None:
+            self._fallback_counters[reason].inc()
+            yield None
+            return
+        if not plan.lock.acquire(blocking=False):
+            # Another thread is mid-replay in this plan's arena; the eager
+            # forward is bitwise identical, so just take it.
+            self._fallback_counters["busy"].inc()
+            yield None
+            return
+        events: list = []
+        try:
+            yield plan.run(model, batch, cached, events)
+        finally:
+            plan.lock.release()
+            self._emit(events)
+
+    @contextmanager
+    def phase1(self, batch: "Batch") -> Iterator["tuple[np.ndarray, list[np.ndarray]] | None"]:
+        """Compiled phase-1 outputs ``(logits, layer_arrays)`` or ``None``.
+
+        Outputs are arena views, valid only inside the ``with`` block —
+        slice/copy per-request results before leaving it.
+        """
+        yield from self._run_ctx((1, batch.meta_ids.shape[1]), batch, None)
+
+    @contextmanager
+    def phase2(self, batch: "Batch", cached: "list | None") -> Iterator["np.ndarray | None"]:
+        """Compiled phase-2 logits or ``None`` (same contract as phase1).
+
+        ``cached`` is the per-request list of latent-cache encodings when
+        *all* requests have width-usable entries, else ``None`` (the plan
+        then recomputes the metadata tower, like the eager path).
+        """
+        yield from self._run_ctx(
+            (2, batch.meta_ids.shape[1], batch.content_ids.shape[1]), batch, cached
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every plan (weights changed); plans rebuild on demand."""
+        with self._lock:
+            plans = list(self._plans.values())
+            self._plans.clear()
+        for plan in plans:
+            plan.dead = True
+            plan.arena.release()
+        model = self._model_ref()
+        if model is not None:
+            self.fingerprint = weight_fingerprint(model)
+        self._plans_gauge.set(0)
+        self._arena_gauge.set(self._budget.used)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def plan_keys(self) -> list[tuple]:
+        with self._lock:
+            return list(self._plans)
+
+
+# ----------------------------------------------------------------------
+# Module-level registry: model -> PlanCache.
+#
+# Weak keys, so a cache never outlives (or pins) its model, and nothing
+# is stored on the model itself — models stay deep-copyable and
+# serializable exactly as before.
+# ----------------------------------------------------------------------
+_CACHES: "weakref.WeakKeyDictionary[Any, PlanCache]" = weakref.WeakKeyDictionary()
+_CACHES_LOCK = threading.Lock()
+
+
+def weight_fingerprint(model: Any) -> str:
+    """A digest of every parameter buffer (plan-staleness detection)."""
+    digest = hashlib.sha256()
+    for name, parameter in model.named_parameters():
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(parameter.data).tobytes())
+    return digest.hexdigest()
+
+
+def enable(
+    model: Any,
+    config: CompileConfig | None = None,
+    *,
+    metrics: Any = None,
+    tracer: "Tracer | None" = None,
+    pad_quantum: int = 16,
+    width_cap: int | None = None,
+) -> PlanCache | None:
+    """Attach (or reuse) a plan cache for ``model``; returns it.
+
+    ``pad_quantum``/``width_cap`` must match the bucket-width ladder the
+    caller routes requests through (the detector passes its batching
+    quantum and the encoder's ``max_seq_len``). An existing cache is
+    reused only when config, ladder, metrics registry *and* the weight
+    fingerprint all match — so two detectors sharing one model share one
+    set of plans, while a fine-tuned model gets a fresh cache.
+    ``config.enabled=False`` detaches any cache (same as :func:`disable`).
+    """
+    config = config if config is not None else CompileConfig()
+    if not config.enabled:
+        disable(model)
+        return None
+    registry = metrics if metrics is not None else global_registry()
+    fingerprint = weight_fingerprint(model)
+    with _CACHES_LOCK:
+        existing = _CACHES.get(model)
+        if (
+            existing is not None
+            and existing.config == config
+            and existing.fingerprint == fingerprint
+            and existing.pad_quantum == pad_quantum
+            and existing.width_cap == width_cap
+            and existing.metrics is registry
+        ):
+            if tracer is not None:
+                existing.tracer = tracer
+            return existing
+    cache = PlanCache(model, config, registry, tracer, pad_quantum, width_cap, fingerprint)
+    with _CACHES_LOCK:
+        _CACHES[model] = cache
+    return cache
+
+
+def disable(model: Any) -> None:
+    """Detach ``model``'s plan cache; forwards go back to eager."""
+    with _CACHES_LOCK:
+        cache = _CACHES.pop(model, None)
+    if cache is not None:
+        cache.reset()
+
+
+def invalidate(model: Any) -> None:
+    """Drop compiled plans after a weight mutation (fine-tune, load, ...).
+
+    The cache stays attached — plans rebuild (and re-verify) from the new
+    weights on the next forward. No-op when compilation is not enabled.
+    """
+    with _CACHES_LOCK:
+        cache = _CACHES.get(model)
+    if cache is not None:
+        cache.reset()
+
+
+def plan_cache(model: Any) -> PlanCache | None:
+    """The live :class:`PlanCache` for ``model``, if compilation is on."""
+    with _CACHES_LOCK:
+        return _CACHES.get(model)

@@ -14,6 +14,15 @@ bookkeeping changes — so eval-mode outputs stay bitwise identical to what
 the graph-recording path would produce. Inference is where the framework
 spends its life (the two-phase pipeline runs entirely under ``no_grad``),
 so these paths are the hot ones.
+
+The no-grad arithmetic lives in raw-ndarray kernels (``softmax_``,
+``layer_norm_``, ``gelu_``, ``relu_``) with optional ``out=``/``scratch=``
+buffers. The eager fast paths call them with fresh buffers; the compiled
+replay paths (:mod:`repro.nn.compile`) call the *same* kernels with
+workspace-arena buffers — one implementation, so compiled and eager
+outputs are bitwise identical by construction. ``scratch`` must never
+alias ``x`` or ``out``; ``out`` may alias ``x`` (every kernel reads ``x``
+before, or in the same ufunc call as, the write).
 """
 
 from __future__ import annotations
@@ -25,9 +34,13 @@ from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "softmax",
+    "softmax_",
     "log_softmax",
     "layer_norm",
+    "layer_norm_",
     "gelu",
+    "gelu_",
+    "relu_",
     "embedding_lookup",
     "dropout",
     "additive_attention_mask",
@@ -35,13 +48,25 @@ __all__ = [
 ]
 
 
+def softmax_(x: np.ndarray, axis: int = -1, out: np.ndarray | None = None) -> np.ndarray:
+    """In-place-capable softmax kernel on a raw ndarray.
+
+    Same operand sequence as the autograd path (shift by max, exp,
+    normalize), so the result is bitwise identical to it. ``out=x`` is the
+    fully in-place form used by compiled replays to reuse the
+    attention-score buffer.
+    """
+    shifted = np.subtract(x, x.max(axis=axis, keepdims=True), out=out)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
     if not is_grad_enabled():
-        np.exp(shifted, out=shifted)
-        shifted /= shifted.sum(axis=axis, keepdims=True)
-        return Tensor(shifted)
+        return Tensor(softmax_(x.data, axis=axis))
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
 
@@ -69,17 +94,40 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+def layer_norm_(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    eps: float = 1e-5,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """In-place-capable layer-norm kernel on a raw ndarray.
+
+    ``x**2`` in the autograd path dispatches to ``np.square`` (numpy's
+    fast scalar-power path), which is what the kernel calls explicitly —
+    keeping the variance bitwise identical. ``scratch`` (same shape as
+    ``x``) holds the squared deviations; it must not alias ``x``/``out``.
+    """
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = np.subtract(x, mean, out=out)
+    squared = np.square(centered, out=scratch)
+    var = squared.mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    centered *= inv_std
+    centered *= weight
+    centered += bias
+    return centered
+
+
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalization over the last axis with affine transform."""
+    if not is_grad_enabled():
+        return Tensor(layer_norm_(x.data, weight.data, bias.data, eps=eps))
     mean = x.data.mean(axis=-1, keepdims=True)
     centered = x.data - mean
     var = (centered**2).mean(axis=-1, keepdims=True)
     inv_std = 1.0 / np.sqrt(var + eps)
-    if not is_grad_enabled():
-        centered *= inv_std
-        centered *= weight.data
-        centered += bias.data
-        return Tensor(centered)
     normalized = centered * inv_std
     out_data = normalized * weight.data + bias.data
 
@@ -103,20 +151,56 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
 _GELU_COEFF = np.sqrt(2.0 / np.pi).astype(np.float32)
 
 
+def gelu_(
+    x: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """In-place-capable tanh-GELU kernel on a raw ndarray.
+
+    Same operand pairs as the autograd path, with the commuted forms
+    (``a*b`` vs ``b*a``, ``a+b`` vs ``b+a``) that are bitwise-exact in
+    IEEE. The cubic is ``square(x) * x`` — NOT ``np.power(x, 3)``, whose
+    generic pow loop is ~70x slower than two multiplies and rounds the
+    last bit differently — and the autograd forward computes the exact
+    same square-then-multiply sequence. ``scratch`` holds the cubic
+    polynomial and must not alias ``x``/``out``; ``out=x`` is safe (``x``
+    is last read in the ``0.5 * x`` multiply that writes ``out``).
+    """
+    cubed = np.square(x, out=scratch)
+    cubed *= x
+    cubed *= 0.044715
+    cubed += x
+    cubed *= _GELU_COEFF
+    np.tanh(cubed, out=cubed)
+    cubed += 1.0
+    half_x = np.multiply(0.5, x, out=out)
+    half_x *= cubed
+    return half_x
+
+
+def relu_(
+    x: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """In-place-capable ReLU kernel mirroring :meth:`Tensor.relu`.
+
+    The autograd path computes ``x * (x > 0)`` — a mask *multiply*, not
+    ``np.maximum`` (which differs on ``-0.0``) — so the kernel does too.
+    ``scratch`` is the boolean mask buffer; it must not alias ``x``/``out``.
+    """
+    mask = np.greater(x, 0, out=scratch)
+    return np.multiply(x, mask, out=out)
+
+
 def gelu(x: Tensor) -> Tensor:
     """Gaussian Error Linear Unit, tanh approximation (as in BERT)."""
-    cubed = x.data**3
     if not is_grad_enabled():
-        # Same operand pairs as below, reusing `cubed` as scratch; the
-        # commuted forms (a*b vs b*a, a+b vs b+a) are bitwise-exact in IEEE.
-        cubed *= 0.044715
-        cubed += x.data
-        cubed *= _GELU_COEFF
-        np.tanh(cubed, out=cubed)
-        cubed += 1.0
-        half_x = 0.5 * x.data
-        half_x *= cubed
-        return Tensor(half_x)
+        return Tensor(gelu_(x.data))
+    # square-then-multiply, matching gelu_ bit for bit (and ~70x faster
+    # than the np.power pow loop ``x**3`` dispatches to).
+    cubed = np.square(x.data) * x.data
     inner = _GELU_COEFF * (x.data + 0.044715 * cubed)
     tanh_inner = np.tanh(inner)
     out_data = 0.5 * x.data * (1.0 + tanh_inner)

@@ -14,8 +14,10 @@ to a fresh computation.
 Cached values are returned by reference and marked read-only
 (``setflags(write=False)``) — callers must treat them as immutable,
 which all current consumers do (they only ever *read* masks and pooling
-matrices). Hit/miss totals are exported per cache as
-``nn.memo.{hits,misses}{cache=<name>}``.
+matrices). Hit/miss/eviction totals are exported per cache as
+``nn.memo.{hits,misses,evictions}{cache=<name>}``; like the latent
+cache, every metric is emitted strictly *outside* ``self._lock`` so the
+memo's lock never nests around a metric lock (rule RPR601).
 """
 
 from __future__ import annotations
@@ -49,15 +51,19 @@ class ArrayKeyLRU:
     """
 
     def __init__(self, name: str, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
         self.name = name
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
         self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
         registry = global_registry()
         self._hit_counter = registry.counter("nn.memo.hits", cache=name)
         self._miss_counter = registry.counter("nn.memo.misses", cache=name)
+        self._eviction_counter = registry.counter("nn.memo.evictions", cache=name)
 
     def get(
         self,
@@ -77,13 +83,24 @@ class ArrayKeyLRU:
             return value
         built = build(*inputs)
         built.setflags(write=False)
+        evicted = 0
         with self._lock:
             self.misses += 1
-            self._store[key] = built
+            # Two racing misses on the same key may both build; insert via
+            # setdefault so only the first build is kept and the capacity
+            # accounting sees one entry — the loser returns the winner's
+            # (bitwise-identical) array. The eviction loop runs while the
+            # lock is still held, so the store can never exceed capacity
+            # even when many threads insert concurrently.
+            built = self._store.setdefault(key, built)
             self._store.move_to_end(key)
             while len(self._store) > self.capacity:
                 self._store.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
         self._miss_counter.inc()
+        if evicted:
+            self._eviction_counter.inc(evicted)
         return built
 
     def clear(self) -> None:

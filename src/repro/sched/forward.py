@@ -32,7 +32,8 @@ import numpy as np
 from .. import nn
 from ..core.adtd import ADTDModel
 from ..core.latent_cache import CachedEncoding
-from ..features.encoding import EncodedTable, collate
+from ..features.encoding import Batch, EncodedTable, collate
+from ..nn import compile as nn_compile
 from ..nn.functional import stable_sigmoid
 
 __all__ = [
@@ -134,35 +135,64 @@ def request_cost(request: "Phase1Request | Phase2Request") -> int:
     return max(request.num_columns, 1)
 
 
+def _phase1_results(
+    requests: list[Phase1Request],
+    batch: Batch,
+    logits_np: np.ndarray,
+    layer_arrays: list[np.ndarray],
+) -> list[Phase1Result]:
+    """Slice per-request results (contiguous copies) out of batch outputs.
+
+    Shared by the eager and the compiled path; for the latter the inputs
+    are workspace-arena views, so every copy here must happen before the
+    plan's replay lock is released (the caller guarantees that).
+    """
+    probs = stable_sigmoid(logits_np)
+    results: list[Phase1Result] = []
+    for row, request in enumerate(requests):
+        cols = request.num_columns
+        # Real copies, not np.ascontiguousarray: a single-row slice of a
+        # C-contiguous batch output is already contiguous, so that would
+        # return a *view* — pinning the whole batch in the eager case and,
+        # in the compiled case, aliasing arena buffers the next replay
+        # overwrites.
+        encoding = CachedEncoding(
+            layer_outputs=[array[row : row + 1].copy() for array in layer_arrays],
+            meta_mask=batch.meta_mask[row : row + 1].copy(),
+            col_positions=batch.col_positions[row : row + 1, :cols].copy(),
+            numeric=batch.numeric[row : row + 1, :cols].copy(),
+            meta_logits=logits_np[row : row + 1, :cols].copy(),
+        )
+        results.append(Phase1Result(probs=probs[row, :cols].copy(), encoding=encoding))
+    return results
+
+
 def run_phase1(model: ADTDModel, requests: list[Phase1Request]) -> list[Phase1Result]:
-    """One collated metadata-tower forward over same-width requests."""
+    """One collated metadata-tower forward over same-width requests.
+
+    Routes through the model's compiled-plan cache when one is attached
+    (:func:`repro.nn.compile.enable`); any fallback — no plan cache,
+    off-ladder width, busy plan, arena overrun — runs the eager no-grad
+    forward, which is bitwise identical to the compiled replay.
+    """
     if not requests:
         return []
     meta_width = requests[0].meta_width
     if any(r.meta_width != meta_width for r in requests):
         raise ValueError("phase-1 batch mixes meta widths; group_requests() first")
     batch = collate([r.encoded for r in requests], meta_width=meta_width)
+    plans = nn_compile.plan_cache(model)
+    if plans is not None:
+        with plans.phase1(batch) as outputs:
+            if outputs is not None:
+                logits_np, layer_arrays = outputs
+                return _phase1_results(requests, batch, logits_np, layer_arrays)
     with nn.no_grad():
         meta_layers = model.encode_metadata(batch)
         logits = model.meta_logits(batch, meta_layers)
     logits_np = logits.detach().numpy()
     layer_arrays = [layer.detach().numpy() for layer in meta_layers]
-    probs = stable_sigmoid(logits_np)
-
-    results: list[Phase1Result] = []
-    for row, request in enumerate(requests):
-        cols = request.num_columns
-        encoding = CachedEncoding(
-            layer_outputs=[
-                np.ascontiguousarray(array[row : row + 1]) for array in layer_arrays
-            ],
-            meta_mask=np.ascontiguousarray(batch.meta_mask[row : row + 1]),
-            col_positions=np.ascontiguousarray(batch.col_positions[row : row + 1, :cols]),
-            numeric=np.ascontiguousarray(batch.numeric[row : row + 1, :cols]),
-            meta_logits=np.ascontiguousarray(logits_np[row : row + 1, :cols]),
-        )
-        results.append(Phase1Result(probs=probs[row, :cols].copy(), encoding=encoding))
-    return results
+    return _phase1_results(requests, batch, logits_np, layer_arrays)
 
 
 def run_phase2(model: ADTDModel, requests: list[Phase2Request]) -> list[Phase2Result]:
@@ -180,17 +210,21 @@ def run_phase2(model: ADTDModel, requests: list[Phase2Request]) -> list[Phase2Re
         meta_width=meta_width,
         content_width=content_width,
     )
-    usable = [
+    all_usable = all(
         r.cached is not None and r.cached.usable_at(meta_width) for r in requests
-    ]
+    )
+    cached = [r.cached for r in requests] if all_usable else None
+    plans = nn_compile.plan_cache(model)
+    if plans is not None:
+        with plans.phase2(batch, cached) as logits_np:
+            if logits_np is not None:
+                return _phase2_results(requests, logits_np)
     with nn.no_grad():
-        if all(usable):
-            num_layers = len(requests[0].cached.layer_outputs)
+        if cached is not None:
+            num_layers = len(cached[0].layer_outputs)
             meta_layers = [
                 nn.Tensor(
-                    np.concatenate(
-                        [r.cached.layer_outputs[i] for r in requests], axis=0
-                    )
+                    np.concatenate([enc.layer_outputs[i] for enc in cached], axis=0)
                 )
                 for i in range(num_layers)
             ]
@@ -200,7 +234,14 @@ def run_phase2(model: ADTDModel, requests: list[Phase2Request]) -> list[Phase2Re
             meta_layers = model.encode_metadata(batch)
         content_hidden = model.encode_content(batch, meta_layers)
         logits = model.content_logits(batch, meta_layers, content_hidden)
-    probs = stable_sigmoid(logits.detach().numpy())
+    return _phase2_results(requests, logits.detach().numpy())
+
+
+def _phase2_results(
+    requests: list[Phase2Request], logits_np: np.ndarray
+) -> list[Phase2Result]:
+    """Slice per-request phase-2 probabilities (copies) out of batch logits."""
+    probs = stable_sigmoid(logits_np)
     return [
         Phase2Result(probs=probs[row, : request.num_columns].copy())
         for row, request in enumerate(requests)

@@ -273,7 +273,7 @@ def test_registry_has_all_documented_rules():
     assert {
         "RPR101", "RPR102", "RPR103", "RPR104",
         "RPR201", "RPR202", "RPR301", "RPR302",
-        "RPR501",
+        "RPR501", "RPR502",
     } <= ids
 
 
@@ -493,5 +493,99 @@ def test_rpr501_noqa(tmp_path):
         "    for chunk in chunks:\n"
         "        batch = collate([chunk])  # noqa: RPR501\n"
         "        model(batch)\n",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR502 — fresh allocations in no-grad loops (repro/nn only)
+# ----------------------------------------------------------------------
+def _lint_nn_source(tmp_path: Path, source: str, name: str = "hot.py") -> list:
+    target = tmp_path / "repro" / "nn" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return lint_paths([target])
+
+
+def test_rpr502_allocation_in_no_grad_loop(tmp_path):
+    findings = _lint_nn_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def forward(model, batches):\n"
+        "    with no_grad():\n"
+        "        for batch in batches:\n"
+        "            scratch = np.zeros(batch.shape)\n"
+        "            model(batch, scratch)\n",
+    )
+    assert _rules_hit(findings) == {"RPR502"}
+    assert findings[0].line == 5
+
+
+def test_rpr502_concatenate_in_grad_disabled_branch(tmp_path):
+    findings = _lint_nn_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def forward(layers, x):\n"
+        "    if not is_grad_enabled():\n"
+        "        for layer in layers:\n"
+        "            x = np.concatenate([x, layer(x)], axis=-1)\n"
+        "    return x\n",
+    )
+    assert _rules_hit(findings) == {"RPR502"}
+
+
+def test_rpr502_whole_file_rule_in_compile_module(tmp_path):
+    findings = _lint_nn_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def replay(plans):\n"
+        "    for plan in plans:\n"
+        "        out = np.empty((4, 4))\n"
+        "        plan(out)\n",
+        name="compile.py",
+    )
+    assert _rules_hit(findings) == {"RPR502"}
+
+
+def test_rpr502_quiet_on_grad_path_loop(tmp_path):
+    findings = _lint_nn_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def backward(grads):\n"
+        "    for grad in grads:\n"
+        "        buffer = np.zeros(grad.shape)\n"
+        "        buffer += grad\n",
+    )
+    assert findings == []
+
+
+def test_rpr502_quiet_outside_loop_and_outside_nn(tmp_path):
+    no_grad_but_hoisted = (
+        "import numpy as np\n"
+        "def forward(model, batches):\n"
+        "    with no_grad():\n"
+        "        scratch = np.zeros((8, 8))\n"
+        "        for batch in batches:\n"
+        "            model(batch, scratch)\n"
+    )
+    assert _lint_nn_source(tmp_path, no_grad_but_hoisted) == []
+    in_loop_but_not_nn = (
+        "import numpy as np\n"
+        "def forward(model, batches):\n"
+        "    with no_grad():\n"
+        "        for batch in batches:\n"
+        "            model(batch, np.zeros((8, 8)))\n"
+    )
+    assert _lint_source(tmp_path, in_loop_but_not_nn) == []
+
+
+def test_rpr502_noqa(tmp_path):
+    findings = _lint_nn_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def forward(model, batches):\n"
+        "    with no_grad():\n"
+        "        for batch in batches:\n"
+        "            model(batch, np.zeros((8, 8)))  # noqa: RPR502\n",
     )
     assert findings == []

@@ -1,0 +1,432 @@
+"""Tests for repro.nn.compile — trace-once/replay-many inference plans.
+
+The load-bearing property is bitwise identity: a compiled replay must
+produce byte-for-byte the same outputs as the eager no-grad forward, for
+every bucket width, both phases, both phase-2 latent modes, at the
+``detect()`` level and through ``repro.serve`` — with and without an
+active fault plan. Everything else here covers the plan-cache mechanics:
+arena reuse, LRU eviction, off-ladder fallback, grad-mode isolation and
+invalidation after weight mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    CompileConfig,
+    DetectOptions,
+    DetectorConfig,
+    RuntimeConfig,
+    TasteDetector,
+    ThresholdPolicy,
+    TrainConfig,
+    fine_tune,
+)
+from repro.db import CloudDatabaseServer, CostModel
+from repro.faults import FaultPlan, FaultRule
+from repro.nn import compile as nn_compile
+from repro.nn.memo import ArrayKeyLRU
+from repro.obs import MetricsRegistry, Tracer
+from repro.sched import Phase1Request, Phase2Request, bucket_width, run_grouped
+from repro.serve import DetectionService
+
+FAST = CostModel(time_scale=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _detach_plan_caches(untrained_model, trained_model):
+    """The models are session-scoped; never leak a plan cache to others."""
+    yield
+    nn_compile.disable(untrained_model)
+    nn_compile.disable(trained_model)
+
+
+def _ladder(quantum=16, cap=512):
+    rungs, width = [], quantum
+    while width < cap:
+        rungs.append(width)
+        width = -(-(width + width // 2) // quantum) * quantum
+    rungs.append(cap)
+    return rungs
+
+
+def _phase1_requests(featurizer, tables, meta_width=None):
+    requests = []
+    for table in tables:
+        encoded = featurizer.encode_offline(table, with_content=False, with_labels=False)
+        width = meta_width or bucket_width(len(encoded.meta.token_ids), 16, cap=512)
+        requests.append(Phase1Request(encoded=encoded, meta_width=width))
+    return requests
+
+
+def _phase2_requests(featurizer, tables, cached_results=None):
+    requests = []
+    for index, table in enumerate(tables):
+        encoded = featurizer.encode_offline(table, with_labels=False)
+        requests.append(
+            Phase2Request(
+                encoded=encoded,
+                meta_width=bucket_width(len(encoded.meta.token_ids), 16, cap=512),
+                content_width=bucket_width(len(encoded.content.token_ids), 16, cap=512),
+                cached=cached_results[index].encoding if cached_results else None,
+            )
+        )
+    return requests
+
+
+def _assert_phase1_bitwise(reference, compiled):
+    assert len(reference) == len(compiled)
+    for ref, got in zip(reference, compiled):
+        assert ref.probs.tobytes() == got.probs.tobytes()
+        assert ref.encoding.meta_logits.tobytes() == got.encoding.meta_logits.tobytes()
+        for ref_layer, got_layer in zip(
+            ref.encoding.layer_outputs, got.encoding.layer_outputs
+        ):
+            assert ref_layer.tobytes() == got_layer.tobytes()
+
+
+# ----------------------------------------------------------------------
+# CompileConfig
+# ----------------------------------------------------------------------
+class TestCompileConfig:
+    def test_defaults(self):
+        config = CompileConfig()
+        assert config.enabled and config.max_plans == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_plans"):
+            CompileConfig(max_plans=0)
+        with pytest.raises(ValueError, match="arena_bytes_limit"):
+            CompileConfig(arena_bytes_limit=0)
+
+    def test_replace_revalidates(self):
+        config = CompileConfig()
+        assert config.replace(max_plans=4).max_plans == 4
+        with pytest.raises(ValueError):
+            config.replace(max_plans=-1)
+
+
+# ----------------------------------------------------------------------
+# Bitwise equivalence, forward level
+# ----------------------------------------------------------------------
+class TestBitwiseEquivalence:
+    def test_phase1_every_bucket_width(self, untrained_model, featurizer, tiny_corpus):
+        """The same chunk, padded to every ladder rung, replays bitwise."""
+        encoded = featurizer.encode_offline(
+            tiny_corpus.tables[0], with_content=False, with_labels=False
+        )
+        length = len(encoded.meta.token_ids)
+        widths = [w for w in _ladder() if w >= length]
+        assert len(widths) >= 4, "workload too long to sweep the ladder"
+        requests = [Phase1Request(encoded=encoded, meta_width=w) for w in widths]
+        reference = run_grouped(untrained_model, requests, coalesce=False)
+        # width_cap makes the capped rung (512) a ladder member, exactly as
+        # the detector passes its encoder max_seq_len.
+        nn_compile.enable(untrained_model, metrics=MetricsRegistry(), width_cap=512)
+        # Twice: the first pass builds+verifies, the second replays hot.
+        for _ in range(2):
+            compiled = run_grouped(untrained_model, requests, coalesce=False)
+            _assert_phase1_bitwise(reference, compiled)
+        cache = nn_compile.plan_cache(untrained_model)
+        assert sorted(cache.plan_keys()) == sorted((1, w) for w in widths)
+
+    def test_phase1_batched(self, untrained_model, featurizer, tiny_corpus):
+        requests = _phase1_requests(featurizer, tiny_corpus.tables[:6])
+        reference = run_grouped(untrained_model, requests, coalesce=False)
+        nn_compile.enable(untrained_model, metrics=MetricsRegistry())
+        compiled = run_grouped(untrained_model, requests, coalesce=True)
+        _assert_phase1_bitwise(reference, compiled)
+
+    def test_phase2_cached_and_recompute(self, untrained_model, featurizer, tiny_corpus):
+        tables = tiny_corpus.tables[:4]
+        phase1 = run_grouped(
+            untrained_model, _phase1_requests(featurizer, tables), coalesce=False
+        )
+        for cached in (None, phase1):
+            requests = _phase2_requests(featurizer, tables, cached_results=cached)
+            reference = run_grouped(untrained_model, requests, coalesce=False)
+            nn_compile.enable(untrained_model, metrics=MetricsRegistry())
+            for _ in range(2):
+                compiled = run_grouped(untrained_model, requests, coalesce=False)
+                for ref, got in zip(reference, compiled):
+                    assert ref.probs.tobytes() == got.probs.tobytes()
+            nn_compile.disable(untrained_model)
+
+    def test_replays_and_builds_counted(self, untrained_model, featurizer, tiny_corpus):
+        metrics = MetricsRegistry()
+        requests = _phase1_requests(featurizer, tiny_corpus.tables[:2])
+        nn_compile.enable(untrained_model, metrics=metrics)
+        for _ in range(3):
+            run_grouped(untrained_model, requests, coalesce=False)
+        assert metrics.counter("nn.compile.builds", phase="1").value >= 1
+        assert metrics.counter("nn.compile.replays", phase="1").value >= 3
+
+
+# ----------------------------------------------------------------------
+# Plan-cache mechanics
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_arena_reused_across_replays(self, untrained_model, featurizer, tiny_corpus):
+        requests = _phase1_requests(featurizer, tiny_corpus.tables[:1])
+        cache = nn_compile.enable(untrained_model, metrics=MetricsRegistry())
+        run_grouped(untrained_model, requests, coalesce=False)
+        (key,) = cache.plan_keys()
+        plan = cache._plans[key]
+        backings = {name: id(buf) for name, buf in plan.arena._slots.items()}
+        bytes_before = plan.arena.bytes
+        for _ in range(3):
+            run_grouped(untrained_model, requests, coalesce=False)
+        assert plan.replays >= 4
+        assert plan.arena.bytes == bytes_before
+        assert {name: id(buf) for name, buf in plan.arena._slots.items()} == backings
+
+    def test_eviction_at_max_plans(self, untrained_model, featurizer, tiny_corpus):
+        metrics = MetricsRegistry()
+        encoded = featurizer.encode_offline(
+            tiny_corpus.tables[0], with_content=False, with_labels=False
+        )
+        widths = [w for w in _ladder() if w >= len(encoded.meta.token_ids)][:4]
+        cache = nn_compile.enable(
+            untrained_model, CompileConfig(max_plans=2), metrics=metrics
+        )
+        for width in widths:
+            requests = [Phase1Request(encoded=encoded, meta_width=width)]
+            run_grouped(untrained_model, requests, coalesce=False)
+        assert len(cache) == 2
+        assert cache.plan_keys() == [(1, w) for w in widths[-2:]]
+        assert metrics.counter("nn.compile.evictions").value == 2
+        assert metrics.gauge("nn.compile.plans").value == 2
+
+    def test_off_ladder_width_falls_back_to_eager(
+        self, untrained_model, featurizer, tiny_corpus
+    ):
+        metrics = MetricsRegistry()
+        encoded = featurizer.encode_offline(
+            tiny_corpus.tables[0], with_content=False, with_labels=False
+        )
+        width = bucket_width(len(encoded.meta.token_ids), 16, cap=512) + 8
+        requests = [Phase1Request(encoded=encoded, meta_width=width)]
+        reference = run_grouped(untrained_model, requests, coalesce=False)
+        cache = nn_compile.enable(untrained_model, metrics=metrics)
+        compiled = run_grouped(untrained_model, requests, coalesce=False)
+        _assert_phase1_bitwise(reference, compiled)
+        assert len(cache) == 0
+        assert metrics.counter("nn.compile.fallbacks", reason="off_ladder").value == 1
+
+    def test_busy_plan_falls_back_bitwise(self, untrained_model, featurizer, tiny_corpus):
+        metrics = MetricsRegistry()
+        requests = _phase1_requests(featurizer, tiny_corpus.tables[:1])
+        reference = run_grouped(untrained_model, requests, coalesce=False)
+        cache = nn_compile.enable(untrained_model, metrics=metrics)
+        run_grouped(untrained_model, requests, coalesce=False)
+        (key,) = cache.plan_keys()
+        with cache._plans[key].lock:  # simulate another thread mid-replay
+            compiled = run_grouped(untrained_model, requests, coalesce=False)
+        _assert_phase1_bitwise(reference, compiled)
+        assert metrics.counter("nn.compile.fallbacks", reason="busy").value == 1
+
+    def test_build_emits_span(self, untrained_model, featurizer, tiny_corpus):
+        tracer = Tracer()
+        requests = _phase1_requests(featurizer, tiny_corpus.tables[:1])
+        nn_compile.enable(untrained_model, metrics=MetricsRegistry(), tracer=tracer)
+        run_grouped(untrained_model, requests, coalesce=False)
+        (span,) = tracer.find("nn.compile.build")
+        assert span.attributes["phase"] == 1
+        assert span.attributes["meta_width"] == requests[0].meta_width
+
+    def test_disable_detaches_and_releases(self, untrained_model, featurizer, tiny_corpus):
+        requests = _phase1_requests(featurizer, tiny_corpus.tables[:1])
+        cache = nn_compile.enable(untrained_model, metrics=MetricsRegistry())
+        run_grouped(untrained_model, requests, coalesce=False)
+        assert cache._budget.used > 0
+        nn_compile.disable(untrained_model)
+        assert nn_compile.plan_cache(untrained_model) is None
+        assert cache._budget.used == 0
+
+    def test_enable_reuses_matching_cache(self, untrained_model):
+        metrics = MetricsRegistry()
+        first = nn_compile.enable(untrained_model, metrics=metrics)
+        again = nn_compile.enable(untrained_model, metrics=metrics)
+        assert again is first
+        other = nn_compile.enable(untrained_model, CompileConfig(max_plans=4), metrics=metrics)
+        assert other is not first
+
+
+# ----------------------------------------------------------------------
+# Grad-mode isolation and invalidation
+# ----------------------------------------------------------------------
+class TestGradIsolation:
+    def test_training_never_routes_through_plans(
+        self, tiny_encoder, tiny_corpus, featurizer
+    ):
+        from repro.core import ADTDConfig, ADTDModel
+
+        model = ADTDModel(
+            ADTDConfig(tiny_encoder, num_labels=tiny_corpus.registry.num_labels), seed=3
+        )
+        cache = nn_compile.enable(model, metrics=MetricsRegistry())
+        fingerprint = cache.fingerprint
+        fine_tune(
+            model,
+            featurizer,
+            tiny_corpus.train[:4],
+            TrainConfig(epochs=1, batch_size=4, learning_rate=1e-3),
+        )
+        # Training went through the autograd forward (plans only hook the
+        # sched no-grad entry points), and the weight mutation dropped the
+        # plans + refreshed the fingerprint.
+        assert len(cache) == 0
+        assert cache.fingerprint != fingerprint
+        assert nn_compile.plan_cache(model) is cache
+
+    def test_invalidate_drops_plans(self, untrained_model, featurizer, tiny_corpus):
+        requests = _phase1_requests(featurizer, tiny_corpus.tables[:1])
+        cache = nn_compile.enable(untrained_model, metrics=MetricsRegistry())
+        run_grouped(untrained_model, requests, coalesce=False)
+        assert len(cache) == 1
+        nn_compile.invalidate(untrained_model)
+        assert len(cache) == 0
+        compiled = run_grouped(untrained_model, requests, coalesce=False)
+        assert len(cache) == 1 and compiled[0].probs.size > 0
+
+    def test_grad_mode_unaffected_by_enabled_plans(
+        self, untrained_model, featurizer, tiny_corpus
+    ):
+        from repro.core.training import task_losses
+        from repro.features.encoding import collate
+
+        nn_compile.enable(untrained_model, metrics=MetricsRegistry())
+        encoded = featurizer.encode_offline(tiny_corpus.train[0])
+        batch = collate([encoded])
+        meta_loss, content_loss = task_losses(untrained_model, batch)
+        (meta_loss + content_loss).backward()
+        grads = [p.grad for p in untrained_model.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+
+# ----------------------------------------------------------------------
+# ArrayKeyLRU (nn.memo) — capacity under concurrency, eviction metrics
+# ----------------------------------------------------------------------
+class TestArrayKeyLRU:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ArrayKeyLRU("bad", capacity=0)
+
+    def test_eviction_counted(self):
+        memo = ArrayKeyLRU("evict-test", capacity=2)
+        for value in range(4):
+            memo.get(np.full(2, value), lambda a: a.copy())
+        assert len(memo) == 2
+        assert memo.evictions == 2
+
+    def test_capacity_enforced_under_concurrent_inserts(self):
+        memo = ArrayKeyLRU("race-test", capacity=8)
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(50):
+                    memo.get(np.full(3, worker * 1000 + i), lambda a: a.copy())
+                    assert len(memo) <= 8
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(memo) <= 8
+        assert memo.evictions >= 6 * 50 - 8
+
+    def test_racing_same_key_returns_one_entry(self):
+        memo = ArrayKeyLRU("same-key", capacity=4)
+        barrier = threading.Barrier(4)
+        results = []
+
+        def build(a):
+            return a * 2.0
+
+        def worker():
+            barrier.wait()
+            results.append(memo.get(np.arange(5.0), build))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(memo) == 1
+        assert all(r is results[0] for r in results)
+        assert memo.hits + memo.misses == 4
+
+
+# ----------------------------------------------------------------------
+# End-to-end: detect() and serve, with and without faults
+# ----------------------------------------------------------------------
+def _make_detector(model, featurizer, compiled, metrics=None):
+    return TasteDetector(
+        model,
+        featurizer,
+        ThresholdPolicy(0.1, 0.9),
+        config=DetectorConfig(pipelined=True, compile=CompileConfig(enabled=compiled)),
+        # `metrics or MetricsRegistry()` would be wrong here: an empty
+        # registry is falsy (len == 0) and would be silently replaced.
+        runtime=RuntimeConfig(
+            metrics=metrics if metrics is not None else MetricsRegistry()
+        ),
+    )
+
+
+def _report_bytes(report):
+    return sorted(
+        (p.table_name, p.column_name, tuple(p.admitted_types), p.phase,
+         p.probabilities.tobytes())
+        for p in report.predictions
+    )
+
+
+class TestEndToEnd:
+    def test_detect_bitwise_compiled_vs_eager(self, trained_model, featurizer, tiny_corpus):
+        metrics = MetricsRegistry()
+        reports = {}
+        for compiled in (False, True):
+            server = CloudDatabaseServer.from_tables(tiny_corpus.test, FAST)
+            detector = _make_detector(
+                trained_model, featurizer, compiled,
+                metrics=metrics if compiled else None,
+            )
+            reports[compiled] = detector.detect(server)
+        assert _report_bytes(reports[True]) == _report_bytes(reports[False])
+        assert metrics.counter("nn.compile.replays", phase="1").value > 0
+
+    def test_detect_bitwise_under_fault_plan(self, trained_model, featurizer, tiny_corpus):
+        plan = FaultPlan(
+            seed=7,
+            rules=(FaultRule("fetch_values", "transient", probability=0.4),),
+        )
+        reports = {}
+        for compiled in (False, True):
+            server = CloudDatabaseServer.from_tables(tiny_corpus.test, FAST)
+            detector = _make_detector(trained_model, featurizer, compiled)
+            reports[compiled] = detector.detect(
+                server, options=DetectOptions(fault_plan=plan)
+            )
+        assert _report_bytes(reports[True]) == _report_bytes(reports[False])
+
+    def test_serve_bitwise_compiled_vs_eager(self, trained_model, featurizer, tiny_corpus):
+        names = [table.name for table in tiny_corpus.test[:6]]
+        reports = {}
+        for compiled in (False, True):
+            server = CloudDatabaseServer.from_tables(tiny_corpus.test, FAST)
+            detector = _make_detector(trained_model, featurizer, compiled)
+            with DetectionService(detector) as service:
+                handle = service.submit("tenant-a", server, names)
+                reports[compiled] = handle.result(timeout=60.0)
+        assert _report_bytes(reports[True]) == _report_bytes(reports[False])
